@@ -1,0 +1,88 @@
+// Ablation: SwapVA outside Full GC — the Table I applicability claims,
+// measured. A young space of survivors is evacuated to a fresh space in
+// (a) minor-batch mode (aggregation applies) and (b) concurrent-relocation
+// mode (one call per object), each with SwapVA on/off and PMD caching
+// on/off. Confirms empirically which optimization pays off in which phase
+// class, as Table I asserts.
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/minor_copy.h"
+
+using namespace svagc;
+
+namespace {
+
+struct Setup {
+  sim::Machine machine{8, sim::ProfileXeonGold6130()};
+  sim::Kernel kernel{machine};
+  sim::PhysicalMemory phys{320ULL << 20};
+  std::unique_ptr<rt::Jvm> jvm;
+  std::vector<rt::vaddr_t> survivors;
+  rt::vaddr_t to_space = 0;
+
+  explicit Setup(unsigned objects, std::uint64_t object_bytes) {
+    rt::JvmConfig config;
+    config.heap.capacity = 160ULL << 20;  // never collects during setup
+    jvm = std::make_unique<rt::Jvm>(machine, phys, kernel, config);
+    to_space = jvm->heap().end() + (1ULL << 24);
+    jvm->address_space().MapRange(to_space, 96ULL << 20);
+    for (unsigned i = 0; i < objects; ++i) {
+      survivors.push_back(jvm->New(1, 0, object_bytes));
+    }
+  }
+  ~Setup() { jvm->address_space().UnmapRange(to_space, 96ULL << 20); }
+};
+
+double EvacuationCycles(unsigned objects, std::uint64_t object_bytes,
+                        core::EvacuationMode mode, bool use_swapva,
+                        bool pmd_caching, std::uint64_t* calls) {
+  Setup setup(objects, object_bytes);
+  core::MoveObjectConfig config;
+  config.use_swapva = use_swapva;
+  config.pmd_caching = pmd_caching;
+  core::MinorEvacuator evacuator(*setup.jvm, config);
+  sim::CpuContext ctx(setup.machine, 0);
+  (void)evacuator.Evacuate(setup.survivors, setup.to_space, mode, ctx);
+  if (calls != nullptr) *calls = evacuator.stats().swap_calls_issued;
+  return ctx.account.total();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: SwapVA in minor-copy / concurrent-relocation "
+              "phases (Table I) ==\n");
+  bench::PrintProfileHeader(sim::ProfileXeonGold6130());
+
+  constexpr unsigned kObjects = 64;
+  TablePrinter table({"object size", "phase class", "memmove(kcyc)",
+                      "SwapVA(kcyc)", "calls", "SwapVA no-PMD$(kcyc)",
+                      "speedup"});
+  for (const std::uint64_t kb : {64u, 256u, 1024u}) {
+    for (const auto mode : {core::EvacuationMode::kMinorBatch,
+                            core::EvacuationMode::kConcurrentSolo}) {
+      const char* phase = mode == core::EvacuationMode::kMinorBatch
+                              ? "Minor (copying)"
+                              : "Concurrent (reloc.)";
+      std::uint64_t calls = 0;
+      const double copy =
+          EvacuationCycles(kObjects, kb * 1024, mode, false, true, nullptr);
+      const double swap =
+          EvacuationCycles(kObjects, kb * 1024, mode, true, true, &calls);
+      const double swap_nopmd =
+          EvacuationCycles(kObjects, kb * 1024, mode, true, false, nullptr);
+      table.AddRow({Format("%llu KiB", (unsigned long long)kb), phase,
+                    Format("%.1f", copy / 1e3), Format("%.1f", swap / 1e3),
+                    Format("%llu", (unsigned long long)calls),
+                    Format("%.1f", swap_nopmd / 1e3),
+                    Format("%.2fx", copy / swap)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nTable I, demonstrated: SwapVA and PMD caching help both phase "
+      "classes; aggregation (fewer calls) only exists in the minor batch — "
+      "concurrent relocation issues one syscall per object.\n");
+  return 0;
+}

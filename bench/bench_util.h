@@ -1,0 +1,33 @@
+// Shared helpers for the figure/table reproduction harnesses.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "simkernel/cost_model.h"
+#include "support/table.h"
+#include "workloads/runner.h"
+
+namespace svagc::bench {
+
+// Every harness prints the cost-model profile it ran under so results are
+// auditable against simkernel/cost_model.cc.
+inline void PrintProfileHeader(const sim::CostProfile& profile) {
+  std::printf(
+      "cost profile: %s (%.1f GHz) — syscall=%.0f walk=%.0f pte=%.0f "
+      "lock=%.0f update=%.0f flushL=%.0f flushP=%.0f ipi=%.0f/%.0f "
+      "copy=%.3f/%.3f cyc/B\n",
+      profile.name.c_str(), profile.ghz, profile.syscall_entry,
+      profile.pagetable_access, profile.pte_access, profile.pte_lock_pair,
+      profile.pte_update, profile.tlb_flush_local, profile.tlb_flush_page,
+      profile.ipi_send, profile.ipi_handle, profile.copy_per_byte_cached,
+      profile.copy_per_byte_dram);
+}
+
+inline std::string Ms(double cycles, const sim::CostProfile& profile) {
+  return Format("%.3f", cycles / (profile.ghz * 1e9) * 1e3);
+}
+
+inline std::string Pct(double x) { return Format("%.1f%%", x); }
+
+}  // namespace svagc::bench

@@ -1,0 +1,51 @@
+// Fig. 2: the scalability problem — multiple single-threaded LRU-cache JVMs
+// under ParallelGC on the 32-core machine (4 GC threads each). Paper
+// result: both GC latency (max and total) and application execution time
+// grow significantly with the JVM count.
+#include "bench/bench_util.h"
+
+using namespace svagc;
+using namespace svagc::workloads;
+
+int main() {
+  const sim::CostProfile& profile = sim::ProfileXeonGold6130();
+  std::printf("== Fig. 2: multi-JVM scalability of ParallelGC (LRUCache) ==\n");
+  bench::PrintProfileHeader(profile);
+
+  TablePrinter table({"JVMs", "app time(ms)", "GC total(ms)", "GC max(ms)",
+                      "app growth", "GC growth"});
+  double base_app = 0;
+  double base_gc = 0;
+  for (unsigned jvms : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    RunConfig config;
+    config.workload = "lrucache";
+    config.collector = CollectorKind::kParallelGc;
+    config.profile = &profile;
+    config.iterations = 20;
+    config.gc_threads = 4;  // paper: GCThreadsCount = 4 per JVM
+    const auto results = RunMultiJvm(config, jvms);
+    double app = 0;
+    double gc_total = 0;
+    double gc_max = 0;
+    for (const RunResult& r : results) {
+      app += r.app_cycles;
+      gc_total += r.gc_total_cycles;
+      gc_max = std::max(gc_max, r.gc_max_cycles);
+    }
+    app /= jvms;  // mean per-JVM application time
+    gc_total /= jvms;
+    if (jvms == 1) {
+      base_app = app;
+      base_gc = gc_total;
+    }
+    table.AddRow({Format("%u", jvms), bench::Ms(app, profile),
+                  bench::Ms(gc_total, profile), bench::Ms(gc_max, profile),
+                  bench::Pct(100 * (app / base_app - 1)),
+                  bench::Pct(100 * (gc_total / base_gc - 1))});
+  }
+  table.Print();
+  std::printf(
+      "\npaper: with ParallelGC both GC latency (max and total) and app time "
+      "increase significantly as JVMs are added.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Fig. 8: benefit of PMD caching for multi-page swaps (i5-7600 testbed).
+// Paper result: up to 52.48% improvement, 36.73% on average, for
+// multi-page copying operations.
+#include "bench/bench_util.h"
+#include "support/stats.h"
+
+using namespace svagc;
+
+namespace {
+
+double SwapCycles(const sim::CostProfile& profile, std::uint64_t pages,
+                  bool pmd_caching) {
+  sim::Machine machine(1, profile);
+  sim::Kernel kernel(machine);
+  sim::PhysicalMemory phys((2 * pages + 64) << sim::kPageShift);
+  sim::AddressSpace as(machine, phys);
+  const sim::vaddr_t base = 1ULL << 32;
+  const std::uint64_t span = pages << sim::kPageShift;
+  as.MapRange(base, 2 * span);
+
+  sim::SwapVaOptions opts;
+  opts.pmd_caching = pmd_caching;
+  sim::CpuContext ctx(machine, 0);
+  kernel.SysSwapVa(as, ctx, base, base + span, pages, opts);
+  return ctx.account.total();
+}
+
+}  // namespace
+
+int main() {
+  const sim::CostProfile& profile = sim::ProfileCorei5_7600();
+  std::printf("== Fig. 8: benefit of PMD caching ==\n");
+  bench::PrintProfileHeader(profile);
+
+  TablePrinter table(
+      {"pages", "no cache(kcyc)", "PMD cache(kcyc)", "improvement"});
+  Summary improvements;
+  double best = 0;
+  for (const std::uint64_t pages :
+       {2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u, 512u, 1024u}) {
+    const double without = SwapCycles(profile, pages, false);
+    const double with_cache = SwapCycles(profile, pages, true);
+    const double improvement = 100 * (1 - with_cache / without);
+    improvements.Add(improvement);
+    best = std::max(best, improvement);
+    table.AddRow({Format("%llu", (unsigned long long)pages),
+                  Format("%.1f", without / 1e3),
+                  Format("%.1f", with_cache / 1e3), bench::Pct(improvement)});
+  }
+  table.Print();
+  std::printf("measured: max %.2f%%, mean %.2f%%\n", best, improvements.mean());
+  std::printf("paper:    max 52.48%%, mean 36.73%%\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Fig. 12: average full-GC latency of SVAGC vs Shenandoah and ParallelGC at
+// (a) 1.2x and (b) 2x minimum heap. Paper result: SVAGC is 3.82x / 16.05x
+// better than ParallelGC / Shenandoah at 1.2x, and 2.74x / 13.62x at 2x.
+#include "bench/bench_util.h"
+#include "support/stats.h"
+
+using namespace svagc;
+using namespace svagc::workloads;
+
+int main() {
+  const sim::CostProfile& profile = sim::ProfileXeonGold6130();
+  std::printf("== Fig. 12: average full-GC latency vs baselines ==\n");
+  bench::PrintProfileHeader(profile);
+
+  for (const double heap_factor : {1.2, 2.0}) {
+    std::printf("-- %.1fx minimum heap --\n", heap_factor);
+    TablePrinter table({"benchmark", "Shenandoah(ms)", "ParallelGC(ms)",
+                        "SVAGC(ms)", "PGC/SVAGC", "Shen/SVAGC"});
+    GeoMean pgc_ratio, shen_ratio;
+    for (const std::string& name : EvaluationWorkloads()) {
+      RunConfig config;
+      config.workload = name;
+      config.profile = &profile;
+      config.heap_factor = heap_factor;
+
+      config.collector = CollectorKind::kShenandoah;
+      const RunResult shen = RunWorkload(config);
+      config.collector = CollectorKind::kParallelGc;
+      const RunResult pgc = RunWorkload(config);
+      config.collector = CollectorKind::kSvagc;
+      const RunResult svagc = RunWorkload(config);
+
+      if (svagc.gc_avg_cycles > 0) {
+        pgc_ratio.Add(pgc.gc_avg_cycles / svagc.gc_avg_cycles);
+        shen_ratio.Add(shen.gc_avg_cycles / svagc.gc_avg_cycles);
+      }
+      table.AddRow({svagc.info.display_name,
+                    bench::Ms(shen.gc_avg_cycles, profile),
+                    bench::Ms(pgc.gc_avg_cycles, profile),
+                    bench::Ms(svagc.gc_avg_cycles, profile),
+                    Format("%.2fx", pgc.gc_avg_cycles / svagc.gc_avg_cycles),
+                    Format("%.2fx", shen.gc_avg_cycles / svagc.gc_avg_cycles)});
+    }
+    table.Print();
+    std::printf("geomean: ParallelGC/SVAGC = %.2fx, Shenandoah/SVAGC = %.2fx\n",
+                pgc_ratio.Value(), shen_ratio.Value());
+    std::printf("paper:   %s\n\n",
+                heap_factor < 1.5 ? "3.82x and 16.05x (at 1.2x heap)"
+                                  : "2.74x and 13.62x (at 2x heap)");
+  }
+  return 0;
+}

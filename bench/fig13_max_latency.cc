@@ -1,0 +1,53 @@
+// Fig. 13: maximum full-GC pause of SVAGC vs Shenandoah and ParallelGC at
+// (a) 1.2x and (b) 2x minimum heap. Paper result: SVAGC's max pause is
+// 4.49x / 18.25x lower than ParallelGC / Shenandoah at 1.2x, and
+// 3.60x / 12.24x at 2x — larger heaps do not rescue the baselines.
+#include "bench/bench_util.h"
+#include "support/stats.h"
+
+using namespace svagc;
+using namespace svagc::workloads;
+
+int main() {
+  const sim::CostProfile& profile = sim::ProfileXeonGold6130();
+  std::printf("== Fig. 13: maximum full-GC pause vs baselines ==\n");
+  bench::PrintProfileHeader(profile);
+
+  for (const double heap_factor : {1.2, 2.0}) {
+    std::printf("-- %.1fx minimum heap --\n", heap_factor);
+    TablePrinter table({"benchmark", "Shenandoah(ms)", "ParallelGC(ms)",
+                        "SVAGC(ms)", "PGC/SVAGC", "Shen/SVAGC"});
+    GeoMean pgc_ratio, shen_ratio;
+    for (const std::string& name : EvaluationWorkloads()) {
+      RunConfig config;
+      config.workload = name;
+      config.profile = &profile;
+      config.heap_factor = heap_factor;
+
+      config.collector = CollectorKind::kShenandoah;
+      const RunResult shen = RunWorkload(config);
+      config.collector = CollectorKind::kParallelGc;
+      const RunResult pgc = RunWorkload(config);
+      config.collector = CollectorKind::kSvagc;
+      const RunResult svagc = RunWorkload(config);
+
+      if (svagc.gc_max_cycles > 0) {
+        pgc_ratio.Add(pgc.gc_max_cycles / svagc.gc_max_cycles);
+        shen_ratio.Add(shen.gc_max_cycles / svagc.gc_max_cycles);
+      }
+      table.AddRow({svagc.info.display_name,
+                    bench::Ms(shen.gc_max_cycles, profile),
+                    bench::Ms(pgc.gc_max_cycles, profile),
+                    bench::Ms(svagc.gc_max_cycles, profile),
+                    Format("%.2fx", pgc.gc_max_cycles / svagc.gc_max_cycles),
+                    Format("%.2fx", shen.gc_max_cycles / svagc.gc_max_cycles)});
+    }
+    table.Print();
+    std::printf("geomean: ParallelGC/SVAGC = %.2fx, Shenandoah/SVAGC = %.2fx\n",
+                pgc_ratio.Value(), shen_ratio.Value());
+    std::printf("paper:   %s\n\n",
+                heap_factor < 1.5 ? "4.49x and 18.25x (at 1.2x heap)"
+                                  : "3.60x and 12.24x (at 2x heap)");
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+#include "core/move_object.h"
+
+namespace svagc::core {
+
+void ObjectMover::Move(sim::CpuContext& ctx, rt::vaddr_t src, rt::vaddr_t dst,
+                       std::uint64_t size) {
+  const std::uint64_t pages = CeilDiv(size, sim::kPageSize);
+  // The byte-based threshold must match IFSWAPALIGN's (Algorithm 3 line 8):
+  // only objects the *allocator* classified as large carry the page-extent
+  // exclusivity guarantee that makes swapping their ceil(size/page) pages
+  // safe. A ceil-based test here would swap a 9.1-page object — 10 pages —
+  // whose tail page is shared with its neighbour.
+  const bool swappable = config_.use_swapva &&
+                         size >= config_.threshold_pages * sim::kPageSize &&
+                         IsAligned(src, sim::kPageSize) &&
+                         IsAligned(dst, sim::kPageSize);
+  if (!swappable) {
+    // Ordering hazard: a pending (buffered) swap still has to move the
+    // frames under its source extent. If this memmove's destination reaches
+    // into any pending source extent, the swap would later displace the
+    // bytes written here — flush the batch first. Sources ascend within a
+    // region, so comparing against the earliest pending source suffices.
+    if (!batch_.empty() && dst + size > batch_.front().a) Flush(ctx);
+    jvm_.address_space().CopyBytes(ctx, dst, src, size,
+                                   sim::AddressSpace::CopyLocality::kCold);
+    stats_.bytes_copied += size;
+    ++stats_.objects_copied;
+    return;
+  }
+
+  ++stats_.objects_swapped;
+  stats_.bytes_swapped += pages << sim::kPageShift;
+  if (!config_.aggregate) {
+    jvm_.kernel().SysSwapVa(jvm_.address_space(), ctx, src, dst, pages,
+                            swap_options_);
+    ++stats_.swap_calls_issued;
+    return;
+  }
+  batch_.push_back(sim::SwapRequest{src, dst, pages});
+  if (batch_.size() >= config_.max_batch) Flush(ctx);
+}
+
+void ObjectMover::Flush(sim::CpuContext& ctx) {
+  if (batch_.empty()) return;
+  jvm_.kernel().SysSwapVaVec(jvm_.address_space(), ctx, batch_, swap_options_);
+  ++stats_.swap_calls_issued;
+  batch_.clear();
+}
+
+}  // namespace svagc::core

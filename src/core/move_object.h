@@ -1,0 +1,62 @@
+// Algorithm 3's MOVEOBJECT: the SwapVA-or-memmove dispatcher, plus the
+// per-worker aggregation buffer of Fig. 5(b).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/jvm.h"
+#include "simkernel/swapva.h"
+#include "support/align.h"
+
+namespace svagc::core {
+
+struct MoveObjectConfig {
+  // Threshold_Swapping in pages (paper's break-even default).
+  std::uint64_t threshold_pages = 10;
+  bool use_swapva = true;      // off = pure memmove (Fig. 11 left bars)
+  bool aggregate = true;       // batch swap requests into one syscall
+  bool pmd_caching = true;
+  sim::TlbPolicy tlb_policy = sim::TlbPolicy::kLocalOnly;
+  std::size_t max_batch = 64;  // requests per aggregated syscall
+};
+
+struct MoveObjectStats {
+  std::uint64_t bytes_copied = 0;
+  std::uint64_t bytes_swapped = 0;  // page-rounded
+  std::uint64_t swap_calls_issued = 0;
+  std::uint64_t objects_swapped = 0;
+  std::uint64_t objects_copied = 0;
+};
+
+// One mover per compaction worker. Swap requests may be buffered; the owner
+// must call Flush() before publishing its region as evacuated (later
+// regions read frames the buffered swaps still have to place).
+class ObjectMover {
+ public:
+  ObjectMover(rt::Jvm& jvm, const MoveObjectConfig& config)
+      : jvm_(jvm), config_(config) {
+    batch_.reserve(config.max_batch);
+    swap_options_.pmd_caching = config.pmd_caching;
+    swap_options_.tlb_policy = config.tlb_policy;
+  }
+
+  // MOVEOBJECT(source, dest, length): SwapVA when the object spans at least
+  // Threshold_Swapping pages and both addresses are page-aligned; memmove
+  // otherwise.
+  void Move(sim::CpuContext& ctx, rt::vaddr_t src, rt::vaddr_t dst,
+            std::uint64_t size);
+
+  void Flush(sim::CpuContext& ctx);
+
+  const MoveObjectStats& stats() const { return stats_; }
+
+ private:
+  rt::Jvm& jvm_;
+  MoveObjectConfig config_;
+  sim::SwapVaOptions swap_options_;
+  std::vector<sim::SwapRequest> batch_;
+  MoveObjectStats stats_;
+};
+
+}  // namespace svagc::core

@@ -1,0 +1,93 @@
+#include "core/svagc_collector.h"
+
+namespace svagc::core {
+
+SvagcCollector::SvagcCollector(sim::Machine& machine, unsigned gc_threads,
+                               unsigned first_core, const SvagcConfig& config)
+    : gc::ParallelLisp2(machine, gc_threads, first_core, config.region_bytes),
+      config_(config) {
+  if (!config_.pinned_compaction) {
+    // Without pinning, correctness requires a global shootdown per call.
+    config_.move.tlb_policy = sim::TlbPolicy::kGlobalPerCall;
+  }
+  movers_.resize(gc_threads);
+}
+
+SvagcCollector::~SvagcCollector() = default;
+
+ObjectMover& SvagcCollector::MoverFor(rt::Jvm& jvm, unsigned worker) {
+  // Movers are (re)bound serially in CompactionPrologue; workers only read.
+  SVAGC_CHECK(movers_jvm_ == &jvm && movers_[worker] != nullptr);
+  return *movers_[worker];
+}
+
+void SvagcCollector::BindMovers(rt::Jvm& jvm) {
+  if (movers_jvm_ != &jvm) {
+    for (auto& mover : movers_) mover.reset();
+    movers_jvm_ = &jvm;
+  }
+  for (auto& mover : movers_) {
+    if (!mover) mover = std::make_unique<ObjectMover>(jvm, config_.move);
+  }
+}
+
+MoveObjectStats SvagcCollector::AggregateMoveStats() const {
+  MoveObjectStats total;
+  for (const auto& mover : movers_) {
+    if (!mover) continue;
+    const MoveObjectStats& s = mover->stats();
+    total.bytes_copied += s.bytes_copied;
+    total.bytes_swapped += s.bytes_swapped;
+    total.swap_calls_issued += s.swap_calls_issued;
+    total.objects_swapped += s.objects_swapped;
+    total.objects_copied += s.objects_copied;
+  }
+  return total;
+}
+
+void SvagcCollector::MoveObject(rt::Jvm& jvm, sim::CpuContext& ctx,
+                                const gc::Move& move) {
+  ctx.account.Charge(sim::CostKind::kCompute, costs().move_dispatch);
+  // Identify the worker by its context (each worker owns one CpuContext).
+  unsigned worker = 0;
+  for (unsigned i = 0; i < gc_threads(); ++i) {
+    if (&worker_ctx(i) == &ctx) {
+      worker = i;
+      break;
+    }
+  }
+  MoverFor(jvm, worker).Move(ctx, move.src, move.dst, move.size);
+  ++log_.objects_moved;
+}
+
+void SvagcCollector::FlushMoves(rt::Jvm& jvm, sim::CpuContext& ctx) {
+  if (movers_jvm_ != &jvm) return;
+  for (unsigned i = 0; i < gc_threads(); ++i) {
+    if (&worker_ctx(i) == &ctx && movers_[i]) {
+      movers_[i]->Flush(ctx);
+      return;
+    }
+  }
+}
+
+void SvagcCollector::CompactionPrologue(rt::Jvm& jvm, sim::CpuContext& ctx) {
+  BindMovers(jvm);
+  if (!config_.pinned_compaction || !config_.move.use_swapva) return;
+  // Algorithm 4 lines 2-5: pin, then one process-wide shootdown so every
+  // other core starts the phase with no stale entries for this process.
+  jvm.kernel().SysPin(ctx);
+  jvm.kernel().SysFlushProcessTlbs(jvm.address_space(), ctx);
+}
+
+void SvagcCollector::CompactionEpilogue(rt::Jvm& jvm, sim::CpuContext& ctx) {
+  if (config_.pinned_compaction && config_.move.use_swapva) {
+    jvm.kernel().SysUnpin(ctx);
+  }
+  // Publish aggregated move statistics on the collector log.
+  const MoveObjectStats total = AggregateMoveStats();
+  log_.bytes_copied.store(total.bytes_copied, std::memory_order_relaxed);
+  log_.bytes_swapped.store(total.bytes_swapped, std::memory_order_relaxed);
+  log_.swap_calls.store(total.swap_calls_issued, std::memory_order_relaxed);
+}
+
+}  // namespace svagc::core

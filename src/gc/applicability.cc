@@ -1,0 +1,53 @@
+#include "gc/applicability.h"
+
+#include "support/check.h"
+
+namespace svagc::gc {
+
+const char* GcPhaseClassName(GcPhaseClass phase) {
+  switch (phase) {
+    case GcPhaseClass::kFullMajorCompact:
+      return "Full & Major (Compact, Moving)";
+    case GcPhaseClass::kMinorCopy:
+      return "Minor (Copying)";
+    case GcPhaseClass::kConcurrentEvacuation:
+      return "Concurrent (Evacuation, Reloc.)";
+    case GcPhaseClass::kNumClasses:
+      break;
+  }
+  return "?";
+}
+
+const char* OptimizationName(SwapVaOptimization opt) {
+  switch (opt) {
+    case SwapVaOptimization::kSwapVa:
+      return "SwapVA";
+    case SwapVaOptimization::kAggregation:
+      return "Aggregation";
+    case SwapVaOptimization::kPmdCaching:
+      return "PMD Caching";
+    case SwapVaOptimization::kOverlapping:
+      return "Overlapping";
+    case SwapVaOptimization::kNumOptimizations:
+      break;
+  }
+  return "?";
+}
+
+bool OptimizationApplies(GcPhaseClass phase, SwapVaOptimization opt) {
+  switch (opt) {
+    case SwapVaOptimization::kSwapVa:
+    case SwapVaOptimization::kPmdCaching:
+      return true;
+    case SwapVaOptimization::kAggregation:
+      return phase != GcPhaseClass::kConcurrentEvacuation;
+    case SwapVaOptimization::kOverlapping:
+      return phase == GcPhaseClass::kFullMajorCompact;
+    case SwapVaOptimization::kNumOptimizations:
+      break;
+  }
+  SVAGC_CHECK(false);
+  return false;
+}
+
+}  // namespace svagc::gc

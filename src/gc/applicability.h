@@ -1,0 +1,36 @@
+// Table I: applicability of SwapVA and its optimizations to GC phases.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace svagc::gc {
+
+enum class GcPhaseClass : unsigned {
+  kFullMajorCompact = 0,  // Full & Major GC (compaction / moving)
+  kMinorCopy,             // Minor GC (copying)
+  kConcurrentEvacuation,  // Concurrent GC (evacuation / relocation)
+  kNumClasses,
+};
+
+enum class SwapVaOptimization : unsigned {
+  kSwapVa = 0,
+  kAggregation,
+  kPmdCaching,
+  kOverlapping,
+  kNumOptimizations,
+};
+
+const char* GcPhaseClassName(GcPhaseClass phase);
+const char* OptimizationName(SwapVaOptimization opt);
+
+// True when the optimization applies to the phase class (paper Table I).
+// Rationale enforced by unit tests:
+//  * SwapVA and PMD caching apply everywhere;
+//  * aggregation needs batched copy requests — concurrent evacuation issues
+//    each copy independently, so it does not apply there;
+//  * overlap swapping needs source/destination to share an addressable
+//    area, which only sliding Full/Major compaction provides.
+bool OptimizationApplies(GcPhaseClass phase, SwapVaOptimization opt);
+
+}  // namespace svagc::gc

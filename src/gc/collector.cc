@@ -1,0 +1,43 @@
+#include "gc/collector.h"
+
+namespace svagc::gc {
+
+CollectorBase::CollectorBase(sim::Machine& machine, unsigned gc_threads,
+                             unsigned first_core)
+    : machine_(machine) {
+  SVAGC_CHECK(gc_threads >= 1);
+  workers_.reserve(gc_threads);
+  for (unsigned i = 0; i < gc_threads; ++i) {
+    // Each GC worker owns a distinct simulated core (wrapping if the
+    // machine is smaller), so per-core TLB effects are modeled per worker.
+    workers_.push_back(std::make_unique<sim::CpuContext>(
+        machine, (first_core + i) % machine.num_cores()));
+  }
+  gang_ = std::make_unique<WorkerGang>(gc_threads);
+}
+
+CollectorBase::~CollectorBase() = default;
+
+double CollectorBase::RunParallelPhase(
+    const std::function<void(unsigned, sim::CpuContext&)>& body) {
+  std::vector<double> before(workers_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    before[i] = workers_[i]->account.total();
+  }
+  gang_->Run([&](unsigned worker_id) { body(worker_id, *workers_[worker_id]); });
+  double critical_path = 0;
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    critical_path =
+        std::max(critical_path, workers_[i]->account.total() - before[i]);
+  }
+  return critical_path;
+}
+
+double CollectorBase::RunSerialPhase(
+    const std::function<void(sim::CpuContext&)>& body) {
+  const double before = workers_[0]->account.total();
+  body(*workers_[0]);
+  return workers_[0]->account.total() - before;
+}
+
+}  // namespace svagc::gc

@@ -1,0 +1,70 @@
+// Collector base class: phase timing over modeled cycles, worker contexts,
+// and the shared LISP2 scaffolding the concrete collectors specialize.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gc/gc_costs.h"
+#include "gc/mark_bitmap.h"
+#include "runtime/jvm.h"
+#include "simkernel/machine.h"
+#include "support/worker_gang.h"
+
+namespace svagc::gc {
+
+// One live-object relocation, produced by the forwarding phase and consumed
+// by the compaction phase.
+struct Move {
+  rt::vaddr_t src = 0;
+  rt::vaddr_t dst = 0;
+  std::uint64_t size = 0;
+  bool large = false;  // >= Threshold_Swapping pages (page-aligned dst)
+};
+
+// Full compaction plan for one GC cycle.
+struct CompactionPlan {
+  std::uint64_t region_bytes = 0;
+  std::vector<std::vector<Move>> region_moves;  // indexed by source region
+  // Highest destination region each source region writes into (dependency
+  // bound for the parallel compaction ordering). ~0 means "no moves".
+  std::vector<std::uint64_t> region_dep;
+  // Dest-side gaps to refill with filler words after all moves complete.
+  std::vector<std::pair<rt::vaddr_t, std::uint64_t>> fillers;
+  rt::vaddr_t new_top = 0;
+  std::uint64_t live_objects = 0;
+  std::uint64_t live_bytes = 0;
+  std::uint64_t moved_objects = 0;
+};
+
+class CollectorBase : public rt::CollectorIface {
+ public:
+  CollectorBase(sim::Machine& machine, unsigned gc_threads,
+                unsigned first_core);
+  ~CollectorBase() override;
+
+  unsigned gc_threads() const { return static_cast<unsigned>(workers_.size()); }
+  sim::CpuContext& worker_ctx(unsigned i) { return *workers_[i]; }
+  WorkerGang& gang() { return *gang_; }
+  const GcCosts& costs() const { return costs_; }
+
+  // Runs `body(worker_id, ctx)` on every worker; returns the critical-path
+  // modeled cycles (max per-worker delta), which is the phase's pause
+  // contribution on a machine with >= gc_threads free cores.
+  double RunParallelPhase(
+      const std::function<void(unsigned, sim::CpuContext&)>& body);
+
+  // Serial phases run on worker 0's context; returns the cycle delta.
+  double RunSerialPhase(const std::function<void(sim::CpuContext&)>& body);
+
+ protected:
+  sim::Machine& machine_;
+  GcCosts costs_ = DefaultGcCosts();
+
+ private:
+  std::vector<std::unique_ptr<sim::CpuContext>> workers_;
+  std::unique_ptr<WorkerGang> gang_;
+};
+
+}  // namespace svagc::gc

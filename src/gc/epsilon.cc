@@ -1,0 +1,1 @@
+#include "gc/epsilon.h"

@@ -1,0 +1,25 @@
+// Epsilon: the no-op collector (JEP 318), the shell the paper's prototype
+// extends. Collect() reclaims nothing; exhaustion is a hard OOM.
+#pragma once
+
+#include "gc/collector.h"
+
+namespace svagc::gc {
+
+class Epsilon : public CollectorBase {
+ public:
+  explicit Epsilon(sim::Machine& machine)
+      : CollectorBase(machine, /*gc_threads=*/1, /*first_core=*/0) {}
+
+  const char* name() const override { return "Epsilon"; }
+
+  void Collect(rt::Jvm& jvm) override {
+    (void)jvm;
+    // Nothing is reclaimed; Jvm::New will fail its post-GC retry and abort
+    // with a genuine OOM, matching Epsilon semantics.
+    rt::GcCycleRecord rec;
+    log_.Record(rec);
+  }
+};
+
+}  // namespace svagc::gc

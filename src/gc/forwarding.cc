@@ -1,0 +1,103 @@
+#include "gc/forwarding.h"
+
+namespace svagc::gc {
+
+ForwardingResult ComputeForwarding(rt::Jvm& jvm, const MarkBitmap& bitmap,
+                                   sim::CpuContext& ctx, const GcCosts& costs,
+                                   std::uint64_t region_bytes,
+                                   bool evacuate_all_live) {
+  ForwardingResult result;
+  rt::Heap& heap = jvm.heap();
+  sim::AddressSpace& as = jvm.address_space();
+  CompactionPlan& plan = result.plan;
+  plan.region_bytes = region_bytes;
+  const std::uint64_t num_regions =
+      CeilDiv(heap.capacity(), region_bytes);
+  plan.region_moves.resize(num_regions);
+  plan.region_dep.assign(num_regions, kNoDep);
+
+  auto region_of = [&](rt::vaddr_t addr) {
+    return (addr - heap.base()) / region_bytes;
+  };
+
+  // Linear sweep over the whole used heap (phase II touches every header).
+  ctx.account.Charge(sim::CostKind::kCompute,
+                     costs.heap_scan_per_byte * static_cast<double>(heap.used()));
+
+  rt::vaddr_t comp_pnt = heap.base();
+  heap.ForEachObject([&](rt::vaddr_t addr, std::uint64_t size) {
+    if (!bitmap.IsMarked(addr)) return;  // garbage: skipped, space reclaimed
+    ctx.account.Charge(sim::CostKind::kCompute, costs.forward_obj);
+    const bool large = heap.IsLargeObject(size);
+
+    // CALCNEWADD: align the compaction pointer for large objects, with the
+    // gap recorded as a dest-side filler.
+    const rt::vaddr_t dst = heap.AlignFor(size, comp_pnt);
+    if (dst > comp_pnt) plan.fillers.emplace_back(comp_pnt, dst - comp_pnt);
+
+    rt::ObjectView view(as, addr);
+    view.set_forwarding(dst);
+    result.live.push_back(addr);
+    ++plan.live_objects;
+    plan.live_bytes += size;
+
+    if (dst != addr || evacuate_all_live) {
+      SVAGC_DCHECK(dst <= addr);  // sliding compaction only moves left
+      const std::uint64_t region = region_of(addr);
+      // Dependency bound: the highest region this move writes into. Large
+      // objects may be swapped, whose page rotation also writes the tail of
+      // the *destination* page extent; the source-extent tail is the
+      // object's own region (>= region) and needs no extra ordering.
+      const rt::vaddr_t dst_hi =
+          (large ? AlignUp(dst + size, sim::kPageSize) : dst + size) - 1;
+      auto& dep = plan.region_dep[region];
+      const std::uint64_t dep_candidate = region_of(dst_hi);
+      dep = (dep == kNoDep) ? dep_candidate : std::max(dep, dep_candidate);
+      plan.region_moves[region].push_back(Move{addr, dst, size, large});
+      ++plan.moved_objects;
+    }
+
+    comp_pnt = dst + size;
+    // Post-alignment after a large object (Algorithm 3 line 25): the next
+    // destination starts on a fresh page; the tail becomes filler.
+    const rt::vaddr_t post = heap.AlignFor(size, comp_pnt);
+    if (post > comp_pnt) {
+      plan.fillers.emplace_back(comp_pnt, post - comp_pnt);
+      comp_pnt = post;
+    }
+  });
+  plan.new_top = comp_pnt;
+  return result;
+}
+
+void AdjustReferences(rt::Jvm& jvm, const std::vector<rt::vaddr_t>& live,
+                      sim::CpuContext& ctx, const GcCosts& costs,
+                      unsigned worker, unsigned stride) {
+  sim::AddressSpace& as = jvm.address_space();
+  // Each worker sweeps its share of the linear scan.
+  ctx.account.Charge(sim::CostKind::kCompute,
+                     costs.heap_scan_per_byte *
+                         static_cast<double>(jvm.heap().used()) / stride);
+  for (std::size_t i = worker; i < live.size(); i += stride) {
+    rt::ObjectView view(as, live[i]);
+    ctx.account.Charge(sim::CostKind::kCompute, costs.adjust_obj);
+    const std::uint32_t refs = view.num_refs();
+    for (std::uint32_t r = 0; r < refs; ++r) {
+      ctx.account.Charge(sim::CostKind::kCompute, costs.adjust_ref);
+      const rt::vaddr_t target = view.ref(r);
+      if (target == 0) continue;
+      const rt::vaddr_t fwd = rt::ObjectView(as, target).forwarding();
+      SVAGC_DCHECK(fwd != 0);
+      view.set_ref(r, fwd);
+    }
+  }
+  if (worker == 0) {
+    jvm.roots().ForEachSlot([&](rt::vaddr_t& slot) {
+      ctx.account.Charge(sim::CostKind::kCompute, costs.root_slot);
+      slot = rt::ObjectView(as, slot).forwarding();
+      SVAGC_DCHECK(slot != 0);
+    });
+  }
+}
+
+}  // namespace svagc::gc

@@ -1,0 +1,45 @@
+// Phase II (forwarding-address calculation, Algorithm 3's CALCNEWADD) and
+// phase III (pointer adjustment) of the LISP2 family.
+//
+// Forwarding is the collectors' "summary" step and runs serially, like
+// HotSpot ParallelGC's summary phase: it is O(live objects) with small
+// constants, while marking/adjusting/compacting — the heavy phases — run in
+// parallel. It produces the CompactionPlan consumed by the compaction
+// phase, including the region dependency bounds that make parallel sliding
+// compaction safe and the filler spans that keep the heap parsable.
+#pragma once
+
+#include "gc/collector.h"
+#include "gc/mark_bitmap.h"
+#include "runtime/jvm.h"
+
+namespace svagc::gc {
+
+inline constexpr std::uint64_t kDefaultRegionBytes = 64 * sim::kPageSize;
+inline constexpr std::uint64_t kNoDep = ~0ULL;
+
+struct ForwardingResult {
+  CompactionPlan plan;
+  // Pre-compaction addresses of all live objects, ascending; the adjust
+  // phase strides over this list.
+  std::vector<rt::vaddr_t> live;
+};
+
+// Walks the heap, assigns each live object its destination (page-aligning
+// large objects per the heap's policy), stores it in the object header's
+// forwarding slot, and accumulates the compaction plan. With
+// `evacuate_all_live`, unmoved objects (dst == src) are still planned as
+// moves — the cost shape of an evacuating collector.
+ForwardingResult ComputeForwarding(rt::Jvm& jvm, const MarkBitmap& bitmap,
+                                   sim::CpuContext& ctx, const GcCosts& costs,
+                                   std::uint64_t region_bytes,
+                                   bool evacuate_all_live = false);
+
+// Phase III worker body: rewrites the reference slots of live objects
+// live[worker], live[worker+stride], ... to the targets' forwarding
+// addresses. Worker 0 additionally rewrites the roots.
+void AdjustReferences(rt::Jvm& jvm, const std::vector<rt::vaddr_t>& live,
+                      sim::CpuContext& ctx, const GcCosts& costs,
+                      unsigned worker, unsigned stride);
+
+}  // namespace svagc::gc

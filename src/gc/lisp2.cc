@@ -1,0 +1,45 @@
+#include "gc/lisp2.h"
+
+namespace svagc::gc {
+
+void SerialLisp2::Collect(rt::Jvm& jvm) {
+  rt::GcCycleRecord rec;
+  rt::Heap& heap = jvm.heap();
+
+  MarkBitmap bitmap(heap);
+  bitmap.Clear();
+  rec.mark = RunSerialPhase([&](sim::CpuContext& ctx) {
+    MarkSerial(jvm, bitmap, ctx, costs());
+  });
+
+  ForwardingResult fwd{};
+  rec.forward = RunSerialPhase([&](sim::CpuContext& ctx) {
+    fwd = ComputeForwarding(jvm, bitmap, ctx, costs(), kDefaultRegionBytes);
+  });
+  const CompactionPlan& plan = fwd.plan;
+
+  rec.adjust = RunSerialPhase([&](sim::CpuContext& ctx) {
+    AdjustReferences(jvm, fwd.live, ctx, costs(), /*worker=*/0, /*stride=*/1);
+  });
+
+  rec.compact = RunSerialPhase([&](sim::CpuContext& ctx) {
+    for (const auto& region : plan.region_moves) {
+      for (const Move& move : region) {
+        ctx.account.Charge(sim::CostKind::kCompute, costs().move_dispatch);
+        jvm.address_space().CopyBytes(ctx, move.dst, move.src, move.size,
+                                      sim::AddressSpace::CopyLocality::kCold);
+        log_.bytes_copied += move.size;
+        ++log_.objects_moved;
+      }
+    }
+    for (const auto& [addr, bytes] : plan.fillers) {
+      ctx.account.Charge(sim::CostKind::kCompute, 12);
+      heap.WriteFiller(addr, bytes);
+    }
+    heap.SetTopAfterGc(plan.new_top);
+  });
+
+  log_.Record(rec);
+}
+
+}  // namespace svagc::gc

@@ -1,0 +1,21 @@
+// Serial LISP2 mark-compact — the paper's §II reference algorithm and the
+// prototype used for the Fig. 1 phase-breakdown measurement.
+#pragma once
+
+#include "gc/collector.h"
+#include "gc/forwarding.h"
+#include "gc/mark.h"
+
+namespace svagc::gc {
+
+class SerialLisp2 : public CollectorBase {
+ public:
+  SerialLisp2(sim::Machine& machine, unsigned core)
+      : CollectorBase(machine, /*gc_threads=*/1, core) {}
+
+  const char* name() const override { return "SerialLISP2"; }
+
+  void Collect(rt::Jvm& jvm) override;
+};
+
+}  // namespace svagc::gc

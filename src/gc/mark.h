@@ -1,0 +1,29 @@
+// Phase I of LISP2: live-object marking, serial and work-stealing parallel.
+#pragma once
+
+#include <cstdint>
+
+#include "gc/collector.h"
+#include "gc/mark_bitmap.h"
+#include "runtime/jvm.h"
+
+namespace svagc::gc {
+
+struct MarkStats {
+  std::uint64_t live_objects = 0;
+  std::uint64_t live_bytes = 0;
+};
+
+// Depth-first trace from the roots on a single context.
+MarkStats MarkSerial(rt::Jvm& jvm, MarkBitmap& bitmap, sim::CpuContext& ctx,
+                     const GcCosts& costs);
+
+// Work-stealing parallel trace. `collector` supplies the worker gang and
+// contexts; returns the stats; the caller reads critical-path timing from
+// RunParallelPhase. Must be invoked *inside* a RunParallelPhase body — this
+// helper is instead a self-contained phase: it runs the gang itself and
+// returns the phase's critical-path cycles via *critical_path.
+MarkStats MarkParallel(rt::Jvm& jvm, MarkBitmap& bitmap,
+                       CollectorBase& collector, double* critical_path);
+
+}  // namespace svagc::gc

@@ -1,0 +1,43 @@
+// Mark bitmap: one bit per 8-byte heap word, atomically settable so the
+// parallel marking workers can claim objects without locks.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/heap.h"
+#include "support/check.h"
+
+namespace svagc::gc {
+
+class MarkBitmap {
+ public:
+  explicit MarkBitmap(const rt::Heap& heap)
+      : heap_(heap), bits_((heap.capacity_words() + 63) / 64) {}
+
+  void Clear() {
+    for (auto& word : bits_) word.store(0, std::memory_order_relaxed);
+  }
+
+  // Returns true when this call marked the object (false: already marked).
+  bool TestAndSet(rt::vaddr_t addr) {
+    const std::uint64_t index = heap_.WordIndex(addr);
+    const std::uint64_t mask = 1ULL << (index & 63);
+    const std::uint64_t prev =
+        bits_[index >> 6].fetch_or(mask, std::memory_order_relaxed);
+    return (prev & mask) == 0;
+  }
+
+  bool IsMarked(rt::vaddr_t addr) const {
+    const std::uint64_t index = heap_.WordIndex(addr);
+    return (bits_[index >> 6].load(std::memory_order_relaxed) >>
+            (index & 63)) & 1;
+  }
+
+ private:
+  const rt::Heap& heap_;
+  std::vector<std::atomic<std::uint64_t>> bits_;
+};
+
+}  // namespace svagc::gc

@@ -1,0 +1,6 @@
+#include "gc/parallel_gc.h"
+
+// ParallelGcLike is entirely inherited behaviour; this TU anchors the vtable.
+namespace svagc::gc {
+static_assert(sizeof(ParallelGcLike) > 0);
+}  // namespace svagc::gc

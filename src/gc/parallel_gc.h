@@ -1,0 +1,17 @@
+// ParallelGC-like baseline: HotSpot's throughput collector shape — fully
+// parallel mark/adjust/compact with work distribution over regions, plain
+// memmove moving, and no page alignment of large objects (the harness
+// configures the heap with page_align_large = false for this collector).
+#pragma once
+
+#include "gc/parallel_lisp2.h"
+
+namespace svagc::gc {
+
+class ParallelGcLike : public ParallelLisp2 {
+ public:
+  using ParallelLisp2::ParallelLisp2;
+  const char* name() const override { return "ParallelGC"; }
+};
+
+}  // namespace svagc::gc

@@ -1,0 +1,129 @@
+#include "gc/parallel_lisp2.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace svagc::gc {
+
+void ParallelLisp2::Collect(rt::Jvm& jvm) {
+  rt::GcCycleRecord rec;
+  rt::Heap& heap = jvm.heap();
+
+  // Phase I: parallel marking.
+  MarkBitmap bitmap(heap);
+  bitmap.Clear();
+  MarkParallel(jvm, bitmap, *this, &rec.mark);
+
+  // Phase II: serial forwarding calculation (summary).
+  ForwardingResult fwd{};
+  rec.forward = RunSerialPhase([&](sim::CpuContext& ctx) {
+    fwd = ComputeForwarding(jvm, bitmap, ctx, costs(), region_bytes_,
+                            EvacuateAllLive());
+  });
+  const CompactionPlan& plan = fwd.plan;
+
+  // Phase III: parallel pointer adjustment.
+  const unsigned stride = gc_threads();
+  rec.adjust = RunParallelPhase([&](unsigned worker, sim::CpuContext& ctx) {
+    AdjustReferences(jvm, fwd.live, ctx, costs(), worker, stride);
+  });
+
+  // Phase IV: compaction.
+  rec.other += RunSerialPhase(
+      [&](sim::CpuContext& ctx) { CompactionPrologue(jvm, ctx); });
+
+  const std::uint64_t num_regions = plan.region_moves.size();
+  region_done_ = std::vector<std::atomic<bool>>(num_regions);
+  for (auto& done : region_done_) done.store(false, std::memory_order_relaxed);
+
+  // During the STW compaction this JVM's mutator is stopped and
+  // compact_workers copy streams run instead. Parallel memmove compaction
+  // therefore saturates memory bandwidth (the paper's [18] argument: more
+  // GC threads stop helping once DRAM is saturated), while SwapVA workers
+  // barely register. Mark/adjust are latency-bound and exempt.
+  const unsigned compact_workers = compact_parallelism();
+  const unsigned prev_streams = machine_.active_memory_streams();
+  machine_.SetActiveMemoryStreams(prev_streams - 1 + compact_workers);
+
+  if (compact_workers <= 1) {
+    // Serial compaction (the Shenandoah-like baseline's copying phase):
+    // in-address-order evacuation needs no dependency tracking.
+    rec.compact = RunSerialPhase([&](sim::CpuContext& ctx) {
+      for (std::uint64_t region = 0; region < num_regions; ++region) {
+        for (const Move& move : plan.region_moves[region]) {
+          MoveObject(jvm, ctx, move);
+        }
+        FlushMoves(jvm, ctx);
+      }
+    });
+  } else {
+    // Each worker owns a contiguous block of regions (HotSpot assigns
+    // destination regions to threads the same way). Deterministic balanced
+    // distribution keeps the modeled critical path a property of the
+    // algorithm, not of host thread scheduling (dynamic claiming degenerates
+    // to one worker on a single-CPU build host); a strided assignment would
+    // alias with page-aligned large-object spacing and pile every large
+    // move onto one worker. Cross-worker dependency ordering is enforced
+    // inside CompactRegion.
+    const std::uint64_t block =
+        (num_regions + compact_workers - 1) / compact_workers;
+    rec.compact = RunParallelPhase([&](unsigned worker, sim::CpuContext& ctx) {
+      if (worker >= compact_workers) return;
+      const std::uint64_t begin = worker * block;
+      const std::uint64_t end = std::min<std::uint64_t>(num_regions,
+                                                        begin + block);
+      for (std::uint64_t region = begin; region < end; ++region) {
+        CompactRegion(jvm, ctx, plan, region);
+      }
+    });
+  }
+
+  machine_.SetActiveMemoryStreams(prev_streams);
+
+  rec.other += RunSerialPhase([&](sim::CpuContext& ctx) {
+    CompactionEpilogue(jvm, ctx);
+    // Re-tile the reclaimed gaps so the heap stays linearly parsable, and
+    // publish the new top.
+    for (const auto& [addr, bytes] : plan.fillers) {
+      ctx.account.Charge(sim::CostKind::kCompute, 12);
+      heap.WriteFiller(addr, bytes);
+    }
+    heap.SetTopAfterGc(plan.new_top);
+  });
+
+  log_.Record(rec);
+}
+
+void ParallelLisp2::CompactRegion(rt::Jvm& jvm, sim::CpuContext& ctx,
+                                  const CompactionPlan& plan,
+                                  std::uint64_t region) {
+  const std::uint64_t dep = plan.region_dep[region];
+  if (dep != kNoDep) {
+    // Wait until every lower-indexed region this region writes into has
+    // been fully evacuated. Spinning costs host time, not modeled cycles —
+    // on real hardware these waits overlap with useful work on the blocked
+    // worker's siblings, and the modeled critical path already reflects the
+    // per-worker work imbalance.
+    for (std::uint64_t q = 0; q <= dep && q < region; ++q) {
+      while (!region_done_[q].load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+    }
+  }
+  for (const Move& move : plan.region_moves[region]) {
+    MoveObject(jvm, ctx, move);
+  }
+  FlushMoves(jvm, ctx);
+  region_done_[region].store(true, std::memory_order_release);
+}
+
+void ParallelLisp2::MoveObject(rt::Jvm& jvm, sim::CpuContext& ctx,
+                               const Move& move) {
+  ctx.account.Charge(sim::CostKind::kCompute, costs().move_dispatch);
+  jvm.address_space().CopyBytes(ctx, move.dst, move.src, move.size,
+                                sim::AddressSpace::CopyLocality::kCold);
+  log_.bytes_copied += move.size;
+  ++log_.objects_moved;
+}
+
+}  // namespace svagc::gc

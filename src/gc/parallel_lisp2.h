@@ -1,0 +1,84 @@
+// Parallel LISP2 mark-compact: the shared engine behind the ParallelGC-like
+// baseline, the Shenandoah-like baseline's full collection, and SVAGC.
+//
+// Phase structure per cycle (paper §II):
+//   I   marking            — parallel, work-stealing
+//   II  forwarding calc    — serial summary (cheap, O(live))
+//   III pointer adjustment — parallel over the live list
+//   IV  compaction         — parallel sliding compaction over regions with
+//                            dependency ordering (a region is evacuated only
+//                            after every region its writes land in has been
+//                            fully evacuated), or serial when
+//                            compact_parallelism() == 1.
+//
+// Subclasses specialize MoveObject (SwapVA vs memmove), the compaction
+// prologue/epilogue (pinning + up-front TLB shootdown for SVAGC), and the
+// compaction parallelism (1 for the Shenandoah-like baseline, whose copying
+// phase has no work stealing — the paper's stated reason it trails).
+#pragma once
+
+#include <atomic>
+
+#include "gc/collector.h"
+#include "gc/forwarding.h"
+#include "gc/mark.h"
+
+namespace svagc::gc {
+
+class ParallelLisp2 : public CollectorBase {
+ public:
+  ParallelLisp2(sim::Machine& machine, unsigned gc_threads,
+                unsigned first_core, std::uint64_t region_bytes = kDefaultRegionBytes)
+      : CollectorBase(machine, gc_threads, first_core),
+        region_bytes_(region_bytes) {}
+
+  const char* name() const override { return "ParallelLISP2"; }
+
+  void Collect(rt::Jvm& jvm) override;
+
+ protected:
+  // Moves one object from move.src to move.dst (sizes in bytes). The base
+  // implementation is a pure memmove through the address space.
+  virtual void MoveObject(rt::Jvm& jvm, sim::CpuContext& ctx, const Move& move);
+
+  // Called once per worker when that worker finishes a region's moves —
+  // aggregation batches must be flushed *before* the region is published as
+  // done (later regions may read the frames the batch still has to place).
+  virtual void FlushMoves(rt::Jvm& jvm, sim::CpuContext& ctx) {
+    (void)jvm;
+    (void)ctx;
+  }
+
+  // STW hooks around the compaction phase; cycles they charge to `ctx` are
+  // recorded under `other`. SVAGC pins workers and issues the single
+  // up-front process-wide TLB shootdown here (Algorithm 4 lines 2-5).
+  virtual void CompactionPrologue(rt::Jvm& jvm, sim::CpuContext& ctx) {
+    (void)jvm;
+    (void)ctx;
+  }
+  virtual void CompactionEpilogue(rt::Jvm& jvm, sim::CpuContext& ctx) {
+    (void)jvm;
+    (void)ctx;
+  }
+
+  // Number of workers participating in compaction (phase IV). The mark and
+  // adjust phases always use the full gang.
+  virtual unsigned compact_parallelism() const { return gc_threads(); }
+
+  // When true, every live object is "moved" even if its destination equals
+  // its source — the cost profile of an evacuating (copying) collector,
+  // which pays for all live bytes each cycle, not just the displaced ones.
+  // Sliding compactors return false.
+  virtual bool EvacuateAllLive() const { return false; }
+
+  std::uint64_t region_bytes_;
+
+ private:
+  void CompactRegion(rt::Jvm& jvm, sim::CpuContext& ctx,
+                     const CompactionPlan& plan, std::uint64_t region);
+
+  // Parallel compaction scheduling state (per cycle).
+  std::vector<std::atomic<bool>> region_done_;
+};
+
+}  // namespace svagc::gc

@@ -1,0 +1,5 @@
+#include "gc/shenandoah_gc.h"
+
+namespace svagc::gc {
+static_assert(sizeof(ShenandoahLike) > 0);
+}  // namespace svagc::gc

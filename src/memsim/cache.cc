@@ -1,0 +1,40 @@
+#include "memsim/cache.h"
+
+#include <bit>
+
+namespace svagc::memsim {
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  SVAGC_CHECK(config.line_bytes > 0 &&
+              (config.line_bytes & (config.line_bytes - 1)) == 0);
+  line_shift_ = static_cast<unsigned>(std::countr_zero(config.line_bytes));
+  const std::uint64_t lines = config.size_bytes / config.line_bytes;
+  SVAGC_CHECK(lines >= config.ways && lines % config.ways == 0);
+  sets_ = static_cast<unsigned>(lines / config.ways);
+  lines_.resize(lines);
+}
+
+bool Cache::Access(std::uint64_t address) {
+  const std::uint64_t block = address >> line_shift_;
+  const unsigned set = static_cast<unsigned>(block % sets_);
+  Line* row = &lines_[static_cast<std::size_t>(set) * config_.ways];
+  Line* victim = &row[0];
+  for (unsigned w = 0; w < config_.ways; ++w) {
+    Line& line = row[w];
+    if (line.valid && line.tag == block) {
+      line.lru = ++clock_;
+      ++hits_;
+      return true;
+    }
+    if (!line.valid) {
+      victim = &line;
+    } else if (victim->valid && line.lru < victim->lru) {
+      victim = &line;
+    }
+  }
+  ++misses_;
+  *victim = Line{true, block, ++clock_};
+  return false;
+}
+
+}  // namespace svagc::memsim

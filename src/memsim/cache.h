@@ -1,0 +1,57 @@
+// Trace-driven set-associative cache model (one level).
+//
+// Used by the Table III harness to compare the cache footprint of
+// memmove-based compaction against SwapVA: the memmove path streams every
+// byte through the hierarchy, the swap path touches only PTE words.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/check.h"
+
+namespace svagc::memsim {
+
+struct CacheConfig {
+  std::uint64_t size_bytes = 32 * 1024;
+  unsigned ways = 8;
+  unsigned line_bytes = 64;
+};
+
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& config);
+
+  // Returns true on hit; on miss the line is filled (allocate-on-miss for
+  // both reads and writes, write-back ignored — miss counting only).
+  bool Access(std::uint64_t address);
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t accesses() const { return hits_ + misses_; }
+  double MissRatePercent() const {
+    const std::uint64_t n = accesses();
+    return n == 0 ? 0.0 : 100.0 * static_cast<double>(misses_) /
+                              static_cast<double>(n);
+  }
+  void ResetCounters() { hits_ = misses_ = 0; }
+
+  const CacheConfig& config() const { return config_; }
+
+ private:
+  struct Line {
+    bool valid = false;
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;
+  };
+
+  CacheConfig config_;
+  unsigned sets_;
+  unsigned line_shift_;
+  std::vector<Line> lines_;  // sets_ x ways_
+  std::uint64_t clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace svagc::memsim

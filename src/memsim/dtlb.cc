@@ -1,0 +1,50 @@
+#include "memsim/dtlb.h"
+
+namespace svagc::memsim {
+
+bool DtlbSim::Level::LookupInsert(std::uint64_t vpn, std::uint64_t* clock) {
+  Entry* row = &entries[(vpn % sets) * ways];
+  Entry* victim = &row[0];
+  for (unsigned w = 0; w < ways; ++w) {
+    Entry& entry = row[w];
+    if (entry.valid && entry.vpn == vpn) {
+      entry.lru = ++*clock;
+      return true;
+    }
+    if (!entry.valid) {
+      victim = &entry;
+    } else if (victim->valid && entry.lru < victim->lru) {
+      victim = &entry;
+    }
+  }
+  *victim = Entry{true, vpn, ++*clock};
+  return false;
+}
+
+DtlbSim::DtlbSim(unsigned l1_entries, unsigned l1_ways, unsigned stlb_entries,
+                 unsigned stlb_ways)
+    : l1_(l1_entries, l1_ways), stlb_(stlb_entries, stlb_ways) {}
+
+void DtlbSim::Access(std::uint64_t vaddr) {
+  const std::uint64_t vpn = vaddr >> sim::kPageShift;
+  ++accesses_;
+  if (l1_.LookupInsert(vpn, &clock_)) return;
+  ++l1_misses_;
+  if (!stlb_.LookupInsert(vpn, &clock_)) ++stlb_misses_;
+}
+
+void DtlbSim::AccessRange(std::uint64_t vaddr, std::uint64_t bytes) {
+  if (bytes == 0) return;
+  const std::uint64_t first = vaddr >> sim::kPageShift;
+  const std::uint64_t last = (vaddr + bytes - 1) >> sim::kPageShift;
+  for (std::uint64_t vpn = first; vpn <= last; ++vpn) {
+    if (!l1_.LookupInsert(vpn, &clock_)) {
+      ++l1_misses_;
+      if (!stlb_.LookupInsert(vpn, &clock_)) ++stlb_misses_;
+    }
+  }
+  // Word-granularity loads are the denominator perf divides by.
+  accesses_ += (bytes + 7) / 8;
+}
+
+}  // namespace svagc::memsim

@@ -1,0 +1,24 @@
+#include "memsim/hierarchy.h"
+
+#include "simkernel/config.h"
+
+namespace svagc::memsim {
+
+void MemoryHierarchy::OnAccess(std::uint64_t vaddr, std::uint32_t size,
+                               bool is_write) {
+  (void)is_write;  // allocate-on-write; miss counting is direction-agnostic
+  const std::uint64_t line = l1_.config().line_bytes;
+  const std::uint64_t first = vaddr / line;
+  const std::uint64_t last = (vaddr + (size == 0 ? 0 : size - 1)) / line;
+  for (std::uint64_t block = first; block <= last; ++block) {
+    const std::uint64_t address = block * line;
+    if (!l1_.Access(address)) {
+      if (!l2_.Access(address)) {
+        llc_.Access(address);
+      }
+    }
+  }
+  dtlb_.AccessRange(vaddr, size);
+}
+
+}  // namespace svagc::memsim

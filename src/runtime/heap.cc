@@ -1,0 +1,67 @@
+#include "runtime/heap.h"
+
+#include <algorithm>
+
+namespace svagc::rt {
+
+Heap::Heap(sim::AddressSpace& as, const HeapConfig& config)
+    : as_(as), config_(config), base_(config.base) {
+  SVAGC_CHECK(IsAligned(base_, sim::kPageSize));
+  const std::uint64_t capacity = AlignUp(config.capacity, sim::kPageSize);
+  end_ = base_ + capacity;
+  top_ = base_;
+  SVAGC_CHECK(config_.swap_threshold_pages >= 1);
+  as_.MapRange(base_, capacity);
+}
+
+Heap::~Heap() { as_.UnmapRange(base_, end_ - base_); }
+
+vaddr_t Heap::AllocateRaw(std::uint64_t bytes) {
+  SVAGC_DCHECK(IsAligned(bytes, 8) && bytes >= kMinObjectBytes);
+  const bool large = IsLargeObject(bytes);
+  const vaddr_t aligned = AlignFor(bytes, top_);
+  if (aligned + bytes > end_) return 0;
+  if (aligned > top_) {
+    WriteFiller(top_, aligned - top_);
+    NoteAlignmentWaste(aligned - top_);
+  }
+  const vaddr_t object = aligned;
+  top_ = aligned + bytes;
+  if (large) {
+    // Re-align the top so the next object begins on a fresh page and the
+    // large object's page extent contains no other object (Alg. 3 line 19).
+    const vaddr_t tail = std::min<vaddr_t>(AlignUp(top_, sim::kPageSize), end_);
+    if (tail > top_) {
+      WriteFiller(top_, tail - top_);
+      NoteAlignmentWaste(tail - top_);
+      top_ = tail;
+    }
+  }
+  return object;
+}
+
+vaddr_t Heap::AllocateTlabChunk(std::uint64_t bytes) {
+  SVAGC_DCHECK(IsAligned(bytes, sim::kPageSize));
+  const vaddr_t aligned = AlignUp(top_, sim::kPageSize);
+  if (aligned + bytes > end_) return 0;
+  if (aligned > top_) {
+    WriteFiller(top_, aligned - top_);
+    NoteAlignmentWaste(aligned - top_);
+  }
+  top_ = aligned + bytes;
+  return aligned;
+}
+
+void Heap::WriteFiller(vaddr_t addr, std::uint64_t bytes) {
+  if (bytes == 0) return;
+  SVAGC_DCHECK(IsAligned(bytes, 8));
+  SVAGC_DCHECK(addr >= base_ && addr + bytes <= end_);
+  as_.WriteWord(addr, MakeFillerWord(bytes));
+}
+
+void Heap::SetTopAfterGc(vaddr_t new_top) {
+  SVAGC_DCHECK(new_top >= base_ && new_top <= end_);
+  top_ = new_top;
+}
+
+}  // namespace svagc::rt

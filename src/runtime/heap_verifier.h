@@ -1,0 +1,28 @@
+// Exhaustive heap consistency checker, run after every collection in tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace svagc::rt {
+
+class Jvm;
+
+struct VerifyResult {
+  bool ok = true;
+  std::string error;  // first violation found
+  std::uint64_t objects = 0;
+  std::uint64_t fillers = 0;
+  std::uint64_t live_bytes = 0;
+};
+
+// Checks, over the whole heap:
+//  * the object/filler stream tiles [base, top) exactly;
+//  * object sizes are plausible (aligned, >= minimum, within bounds);
+//  * every reference points to the start of a live object (or is null);
+//  * every root points to the start of a live object (or is null);
+//  * every large object is page-aligned and its page extent up to the next
+//    page boundary contains no other object (SwapVA's safety precondition).
+VerifyResult VerifyHeap(Jvm& jvm);
+
+}  // namespace svagc::rt

@@ -1,0 +1,168 @@
+// The managed-runtime shell ("a JVM"): address space + heap + roots +
+// mutator contexts + a pluggable collector, standing in for OpenJDK 15 with
+// the Epsilon shell the paper extends.
+//
+// Threading model: GC phases use real parallel worker threads (the gang is
+// owned by the collector). Mutators are *logical* — Table II's thread counts
+// shape allocation demographics (one TLAB per logical thread), while the
+// driving loop is sequential. This keeps workload behaviour faithful without
+// a safepoint protocol, which the paper does not evaluate.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/heap.h"
+#include "runtime/object.h"
+#include "runtime/roots.h"
+#include "runtime/tlab.h"
+#include "simkernel/address_space.h"
+#include "simkernel/machine.h"
+#include "simkernel/swapva.h"
+#include "support/stats.h"
+
+namespace svagc::rt {
+
+class Jvm;
+
+// Per-GC-cycle pause breakdown, all in modeled cycles.
+struct GcCycleRecord {
+  double mark = 0;
+  double forward = 0;
+  double adjust = 0;
+  double compact = 0;
+  double other = 0;  // setup, pinning, up-front flushes, concurrent credit
+  double Total() const { return mark + forward + adjust + compact + other; }
+};
+
+// Aggregated per-collector log the benches read. The byte/object counters
+// are atomic because parallel compaction workers bump them concurrently.
+struct GcLog {
+  LatencyRecorder pauses;              // total STW pause per cycle
+  std::vector<GcCycleRecord> cycles;   // per-cycle phase breakdown
+  std::atomic<std::uint64_t> bytes_copied{0};   // memmove path
+  std::atomic<std::uint64_t> bytes_swapped{0};  // SwapVA path (page-rounded)
+  std::atomic<std::uint64_t> objects_moved{0};
+  std::atomic<std::uint64_t> swap_calls{0};
+  std::uint64_t collections = 0;
+
+  void Record(const GcCycleRecord& rec) {
+    cycles.push_back(rec);
+    pauses.Record(static_cast<std::uint64_t>(rec.Total()));
+    ++collections;
+  }
+  GcCycleRecord Sum() const {
+    GcCycleRecord sum;
+    for (const auto& rec : cycles) {
+      sum.mark += rec.mark;
+      sum.forward += rec.forward;
+      sum.adjust += rec.adjust;
+      sum.compact += rec.compact;
+      sum.other += rec.other;
+    }
+    return sum;
+  }
+};
+
+// Interface the runtime sees; concrete collectors live in src/gc and
+// src/core (dependency inversion keeps runtime below gc in the layering).
+class CollectorIface {
+ public:
+  virtual ~CollectorIface() = default;
+  virtual const char* name() const = 0;
+  // Stop-the-world full collection.
+  virtual void Collect(Jvm& jvm) = 0;
+  GcLog& log() { return log_; }
+  const GcLog& log() const { return log_; }
+
+ protected:
+  GcLog log_;
+};
+
+// A logical mutator thread: its simulated CPU context + TLAB.
+struct MutatorContext {
+  MutatorContext(sim::Machine& machine, unsigned core_id)
+      : cpu(machine, core_id) {}
+  sim::CpuContext cpu;
+  Tlab tlab;
+};
+
+struct JvmConfig {
+  HeapConfig heap;
+  std::uint64_t tlab_bytes = 64 * sim::kPageSize;  // 256 KiB, page multiple
+  unsigned logical_threads = 1;
+  unsigned mutator_core = 0;  // logical mutators share this simulated core
+  unsigned gc_threads = 4;
+  std::string name = "jvm";
+};
+
+class Jvm {
+ public:
+  Jvm(sim::Machine& machine, sim::PhysicalMemory& phys, sim::Kernel& kernel,
+      const JvmConfig& config);
+  ~Jvm();
+
+  Jvm(const Jvm&) = delete;
+  Jvm& operator=(const Jvm&) = delete;
+
+  sim::Machine& machine() { return machine_; }
+  sim::Kernel& kernel() { return kernel_; }
+  sim::AddressSpace& address_space() { return as_; }
+  Heap& heap() { return heap_; }
+  RootSet& roots() { return roots_; }
+  const JvmConfig& config() const { return config_; }
+
+  void set_collector(std::unique_ptr<CollectorIface> collector) {
+    collector_ = std::move(collector);
+  }
+  CollectorIface& collector() {
+    SVAGC_CHECK(collector_ != nullptr);
+    return *collector_;
+  }
+  bool has_collector() const { return collector_ != nullptr; }
+
+  MutatorContext& mutator(unsigned logical_thread = 0) {
+    return *mutators_[logical_thread % mutators_.size()];
+  }
+  unsigned num_mutators() const {
+    return static_cast<unsigned>(mutators_.size());
+  }
+
+  // Allocates a managed object (like `new`): zeroed payload, header written.
+  // Triggers a full collection on exhaustion; aborts on genuine OOM (the
+  // harness sized the heap wrong — never a silent failure).
+  vaddr_t New(std::uint32_t type_id, std::uint32_t num_refs,
+              std::uint64_t data_bytes, unsigned logical_thread = 0);
+
+  ObjectView View(vaddr_t addr) { return ObjectView(as_, addr); }
+
+  // Mutator-side cycles across all logical threads (they share one core).
+  double MutatorCycles() const;
+  // GC pause cycles accumulated by the collector.
+  double GcCycles() const {
+    return collector_ == nullptr ? 0.0 : collector_->log().pauses.total();
+  }
+
+  std::uint64_t gc_count() const { return gc_count_; }
+
+  // Retires all TLABs (a GC prologue step: parsable-heap guarantee).
+  void RetireAllTlabs();
+
+ private:
+  vaddr_t TryAllocate(std::uint64_t bytes, MutatorContext& mutator);
+
+  sim::Machine& machine_;
+  sim::Kernel& kernel_;
+  sim::AddressSpace as_;
+  Heap heap_;
+  RootSet roots_;
+  JvmConfig config_;
+  std::vector<std::unique_ptr<MutatorContext>> mutators_;
+  std::unique_ptr<CollectorIface> collector_;
+  std::uint64_t gc_count_ = 0;
+};
+
+}  // namespace svagc::rt

@@ -1,0 +1,14 @@
+#include "runtime/object.h"
+
+namespace svagc::rt {
+
+// The object model is header-only; this TU pins compile-time layout checks.
+static_assert(kHeaderBytes == 24);
+static_assert(ObjectBytes(0, 0) == 24);
+static_assert(ObjectBytes(2, 0) == 40);
+static_assert(ObjectBytes(0, 9) == 40);  // data rounded to whole words
+static_assert(IsFillerWord(MakeFillerWord(8)));
+static_assert(FillerGapBytes(MakeFillerWord(4096)) == 4096);
+static_assert(!IsFillerWord(48));  // object sizes are even
+
+}  // namespace svagc::rt

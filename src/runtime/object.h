@@ -1,0 +1,106 @@
+// Managed object model.
+//
+// Objects live in the simulated virtual address space. Layout (all 8-byte
+// words, so word accesses never straddle pages):
+//
+//   word 0: size in bytes, including the header; always a multiple of 8, so
+//           bit 0 is free — a *filler word* (dead gap marker) sets bit 0 and
+//           stores the gap length in bits 1..63. Gaps arise from TLAB
+//           retirement and from page-aligning large objects (paper §IV).
+//   word 1: type_id (high 32 bits) | num_refs (low 32 bits)
+//   word 2: forwarding address (LISP2 phase II result; 0 = none)
+//   words 3..3+num_refs-1:   reference slots (vaddr of another object or 0)
+//   remaining words:          raw data payload
+//
+// The heap is a contiguous sequence of objects and filler gaps, walkable
+// from heap base to top — the property every LISP2 phase relies on.
+#pragma once
+
+#include <cstdint>
+
+#include "simkernel/address_space.h"
+#include "simkernel/config.h"
+#include "support/check.h"
+
+namespace svagc::rt {
+
+using sim::vaddr_t;
+
+inline constexpr std::uint64_t kHeaderWords = 3;
+inline constexpr std::uint64_t kHeaderBytes = kHeaderWords * 8;
+inline constexpr std::uint64_t kMinObjectBytes = kHeaderBytes;
+
+// Total object size for a payload of `num_refs` references plus
+// `data_bytes` of raw data (rounded up to whole words).
+constexpr std::uint64_t ObjectBytes(std::uint32_t num_refs,
+                                    std::uint64_t data_bytes) {
+  return kHeaderBytes + 8ULL * num_refs + ((data_bytes + 7) & ~7ULL);
+}
+
+// Filler word helpers.
+constexpr std::uint64_t MakeFillerWord(std::uint64_t gap_bytes) {
+  return (gap_bytes << 1) | 1;
+}
+constexpr bool IsFillerWord(std::uint64_t word) { return (word & 1) != 0; }
+constexpr std::uint64_t FillerGapBytes(std::uint64_t word) { return word >> 1; }
+
+// A cheap non-owning view over one object. All accesses go through the
+// address space's raw (uncosted) path: GC-internal bookkeeping costs are
+// charged per-object by the collectors, not per-word.
+class ObjectView {
+ public:
+  ObjectView(sim::AddressSpace& as, vaddr_t addr) : as_(&as), addr_(addr) {
+    SVAGC_DCHECK((addr & 7) == 0);
+  }
+
+  vaddr_t address() const { return addr_; }
+
+  std::uint64_t size() const { return as_->ReadWord(addr_); }
+  void set_size(std::uint64_t bytes) {
+    SVAGC_DCHECK((bytes & 7) == 0);
+    as_->WriteWord(addr_, bytes);
+  }
+
+  std::uint32_t type_id() const {
+    return static_cast<std::uint32_t>(as_->ReadWord(addr_ + 8) >> 32);
+  }
+  std::uint32_t num_refs() const {
+    return static_cast<std::uint32_t>(as_->ReadWord(addr_ + 8));
+  }
+  void set_type_and_refs(std::uint32_t type_id, std::uint32_t num_refs) {
+    as_->WriteWord(addr_ + 8,
+                   (static_cast<std::uint64_t>(type_id) << 32) | num_refs);
+  }
+
+  vaddr_t forwarding() const { return as_->ReadWord(addr_ + 16); }
+  void set_forwarding(vaddr_t fwd) { as_->WriteWord(addr_ + 16, fwd); }
+
+  vaddr_t ref_slot_addr(std::uint32_t i) const {
+    SVAGC_DCHECK(i < num_refs());
+    return addr_ + kHeaderBytes + 8ULL * i;
+  }
+  vaddr_t ref(std::uint32_t i) const { return as_->ReadWord(ref_slot_addr(i)); }
+  void set_ref(std::uint32_t i, vaddr_t target) {
+    as_->WriteWord(ref_slot_addr(i), target);
+  }
+
+  // Raw data payload (after the reference slots).
+  vaddr_t data_base() const { return addr_ + kHeaderBytes + 8ULL * num_refs(); }
+  std::uint64_t data_words() const {
+    return (size() - kHeaderBytes - 8ULL * num_refs()) / 8;
+  }
+  std::uint64_t data_word(std::uint64_t i) const {
+    SVAGC_DCHECK(i < data_words());
+    return as_->ReadWord(data_base() + 8 * i);
+  }
+  void set_data_word(std::uint64_t i, std::uint64_t value) {
+    SVAGC_DCHECK(i < data_words());
+    as_->WriteWord(data_base() + 8 * i, value);
+  }
+
+ private:
+  sim::AddressSpace* as_;
+  vaddr_t addr_;
+};
+
+}  // namespace svagc::rt

@@ -1,0 +1,59 @@
+// GC root set: stable handles to heap objects, the analogue of HotSpot's
+// JNI global refs plus thread stacks. Workloads keep their object graphs
+// reachable through these slots; the adjust phase rewrites them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/object.h"
+#include "support/check.h"
+
+namespace svagc::rt {
+
+class RootSet {
+ public:
+  using Handle = std::size_t;
+
+  Handle Add(vaddr_t target) {
+    if (!free_.empty()) {
+      const Handle h = free_.back();
+      free_.pop_back();
+      slots_[h] = target;
+      return h;
+    }
+    slots_.push_back(target);
+    return slots_.size() - 1;
+  }
+
+  void Remove(Handle h) {
+    SVAGC_DCHECK(h < slots_.size());
+    slots_[h] = 0;
+    free_.push_back(h);
+  }
+
+  vaddr_t Get(Handle h) const {
+    SVAGC_DCHECK(h < slots_.size());
+    return slots_[h];
+  }
+  void Set(Handle h, vaddr_t target) {
+    SVAGC_DCHECK(h < slots_.size());
+    slots_[h] = target;
+  }
+
+  std::size_t size() const { return slots_.size(); }
+
+  // Direct slot access for the GC's adjust phase.
+  template <typename F>
+  void ForEachSlot(F&& f) {
+    for (vaddr_t& slot : slots_) {
+      if (slot != 0) f(slot);
+    }
+  }
+
+ private:
+  std::vector<vaddr_t> slots_;
+  std::vector<Handle> free_;
+};
+
+}  // namespace svagc::rt

@@ -1,0 +1,169 @@
+#include "simkernel/address_space.h"
+#include <algorithm>
+
+#include <cstring>
+
+#include "support/align.h"
+
+namespace svagc::sim {
+
+AddressSpace::~AddressSpace() {
+  // Frames are owned by the shared PhysicalMemory; release what we mapped.
+  // Page tables know their mapped count but not the set, so we do not try to
+  // enumerate here — HeapSpace/owners call UnmapRange explicitly. Remaining
+  // mappings at destruction indicate a leak only in long-lived harnesses, so
+  // this is intentionally lenient (like process teardown).
+}
+
+void AddressSpace::MapRange(vaddr_t vaddr, std::uint64_t bytes) {
+  SVAGC_CHECK(IsAligned(vaddr, kPageSize));
+  SVAGC_CHECK(IsAligned(bytes, kPageSize));
+  const std::uint64_t pages = bytes >> kPageShift;
+  const std::uint64_t vpn0 = vaddr >> kPageShift;
+  for (std::uint64_t i = 0; i < pages; ++i) {
+    table_.Map(vpn0 + i, phys_.AllocFrame());
+  }
+}
+
+void AddressSpace::UnmapRange(vaddr_t vaddr, std::uint64_t bytes) {
+  SVAGC_CHECK(IsAligned(vaddr, kPageSize));
+  SVAGC_CHECK(IsAligned(bytes, kPageSize));
+  const std::uint64_t pages = bytes >> kPageShift;
+  const std::uint64_t vpn0 = vaddr >> kPageShift;
+  for (std::uint64_t i = 0; i < pages; ++i) {
+    phys_.FreeFrame(table_.Unmap(vpn0 + i));
+  }
+}
+
+std::byte* AddressSpace::HwPtr(CpuContext& ctx, vaddr_t vaddr) {
+  const std::uint64_t vpn = vaddr >> kPageShift;
+  const std::uint64_t offset = vaddr & (kPageSize - 1);
+  Tlb& tlb = machine_.tlb(ctx.core_id);
+  const auto result = tlb.Lookup(asid_, vpn);
+  frame_t frame;
+  if (result.hit) {
+    ctx.account.Charge(CostKind::kTlbHit, machine_.cost().tlb_hit);
+    frame = result.frame;
+    // A hit that disagrees with the page table means a TLB shootdown was
+    // skipped where it was required — the bug class SwapVA must avoid.
+    SVAGC_DCHECK(table_.Lookup(vpn).has_value() &&
+                 *table_.Lookup(vpn) == frame);
+  } else {
+    const auto walked = table_.HardwareWalk(vpn, ctx.account, machine_.cost());
+    SVAGC_CHECK(walked.has_value());
+    frame = *walked;
+    tlb.Insert(asid_, vpn, frame);
+  }
+  return phys_.FrameData(frame) + offset;
+}
+
+std::byte* AddressSpace::RawPtr(vaddr_t vaddr) const {
+  const auto frame = table_.Lookup(vaddr >> kPageShift);
+  SVAGC_CHECK(frame.has_value());
+  return const_cast<PhysicalMemory&>(phys_).FrameData(*frame) +
+         (vaddr & (kPageSize - 1));
+}
+
+void AddressSpace::CopyBytes(CpuContext& ctx, vaddr_t dst, vaddr_t src,
+                             std::uint64_t bytes, CopyLocality locality) {
+  if (bytes == 0 || dst == src) return;
+  // Modeled cost: streaming read + write at the profile's copy throughput,
+  // inflated by bandwidth contention when many contexts copy concurrently.
+  const CostProfile& cost = machine_.cost();
+  double per_byte;
+  switch (locality) {
+    case CopyLocality::kCold:
+      per_byte = cost.copy_per_byte_dram;
+      break;
+    case CopyLocality::kHot:
+      per_byte = cost.copy_per_byte_cached;
+      break;
+    case CopyLocality::kAuto:
+    default:
+      per_byte = cost.CopyCyclesPerByte(bytes);
+      break;
+  }
+  ctx.account.Charge(CostKind::kCopy,
+                     static_cast<double>(bytes) * per_byte *
+                         machine_.BandwidthContentionFactor());
+  if (trace_ != nullptr) {
+    trace_->OnAccess(src, static_cast<std::uint32_t>(
+                              std::min<std::uint64_t>(bytes, ~0U)),
+                     /*is_write=*/false);
+    trace_->OnAccess(dst, static_cast<std::uint32_t>(
+                              std::min<std::uint64_t>(bytes, ~0U)),
+                     /*is_write=*/true);
+  }
+
+  // Real data movement, page-safe, with memmove overlap semantics.
+  const bool forward = dst < src;
+  std::uint64_t remaining = bytes;
+  vaddr_t s = forward ? src : src + bytes;
+  vaddr_t d = forward ? dst : dst + bytes;
+  while (remaining > 0) {
+    std::uint64_t chunk;
+    if (forward) {
+      const std::uint64_t s_room = kPageSize - (s & (kPageSize - 1));
+      const std::uint64_t d_room = kPageSize - (d & (kPageSize - 1));
+      chunk = std::min({remaining, s_room, d_room});
+      std::memmove(RawPtr(d), RawPtr(s), chunk);
+      phys_.NoteBytesWritten(chunk);
+      s += chunk;
+      d += chunk;
+    } else {
+      // Backward: `s`/`d` point one past the chunk end.
+      const std::uint64_t s_room = ((s - 1) & (kPageSize - 1)) + 1;
+      const std::uint64_t d_room = ((d - 1) & (kPageSize - 1)) + 1;
+      chunk = std::min({remaining, s_room, d_room});
+      s -= chunk;
+      d -= chunk;
+      std::memmove(RawPtr(d), RawPtr(s), chunk);
+      phys_.NoteBytesWritten(chunk);
+    }
+    remaining -= chunk;
+  }
+}
+
+void AddressSpace::ZeroBytes(CpuContext& ctx, vaddr_t dst, std::uint64_t bytes) {
+  if (bytes == 0) return;
+  const CostProfile& cost = machine_.cost();
+  // Zeroing streams half the traffic of a copy (write-only).
+  ctx.account.Charge(CostKind::kAlloc,
+                     static_cast<double>(bytes) * cost.CopyCyclesPerByte(bytes) *
+                         0.5 * machine_.BandwidthContentionFactor());
+  if (trace_ != nullptr) {
+    trace_->OnAccess(dst, static_cast<std::uint32_t>(
+                              std::min<std::uint64_t>(bytes, ~0U)),
+                     /*is_write=*/true);
+  }
+  std::uint64_t remaining = bytes;
+  vaddr_t d = dst;
+  while (remaining > 0) {
+    const std::uint64_t room = kPageSize - (d & (kPageSize - 1));
+    const std::uint64_t chunk = std::min(remaining, room);
+    std::memset(RawPtr(d), 0, chunk);
+    phys_.NoteBytesWritten(chunk);
+    d += chunk;
+    remaining -= chunk;
+  }
+}
+
+void AddressSpace::StreamTouch(CpuContext& ctx, vaddr_t vaddr,
+                               std::uint64_t bytes, double cycles_per_byte,
+                               bool is_write) {
+  if (bytes == 0) return;
+  ctx.account.Charge(CostKind::kCompute,
+                     static_cast<double>(bytes) * cycles_per_byte *
+                         machine_.BandwidthContentionFactor());
+  if (trace_ != nullptr) {
+    trace_->OnAccess(vaddr, static_cast<std::uint32_t>(
+                                std::min<std::uint64_t>(bytes, ~0U)),
+                     is_write);
+  }
+  const vaddr_t first = AlignDown(vaddr, kPageSize);
+  for (vaddr_t page = first; page < vaddr + bytes; page += kPageSize) {
+    (void)HwPtr(ctx, page);
+  }
+}
+
+}  // namespace svagc::sim

@@ -1,0 +1,106 @@
+// A process address space: page table + frames, with TLB-accounted and raw
+// translation paths plus page-safe bulk copy (the GC's memmove).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simkernel/config.h"
+#include "simkernel/machine.h"
+#include "simkernel/page_table.h"
+#include "simkernel/phys_mem.h"
+#include "simkernel/trace.h"
+#include "support/check.h"
+
+namespace svagc::sim {
+
+class AddressSpace {
+ public:
+  AddressSpace(Machine& machine, PhysicalMemory& phys)
+      : machine_(machine), phys_(phys), asid_(machine.NextAsid()) {}
+
+  AddressSpace(const AddressSpace&) = delete;
+  AddressSpace& operator=(const AddressSpace&) = delete;
+  ~AddressSpace();
+
+  Machine& machine() { return machine_; }
+  PhysicalMemory& phys() { return phys_; }
+  PageTable& page_table() { return table_; }
+  std::uint64_t asid() const { return asid_; }
+
+  // Eagerly maps [vaddr, vaddr+bytes), allocating fresh frames. vaddr and
+  // bytes must be page-aligned (mmap semantics).
+  void MapRange(vaddr_t vaddr, std::uint64_t bytes);
+  void UnmapRange(vaddr_t vaddr, std::uint64_t bytes);
+  bool IsMapped(vaddr_t vaddr) const {
+    return table_.Lookup(vaddr >> kPageShift).has_value();
+  }
+
+  // TLB-accounted translation: models what the hardware does on the given
+  // core. Debug builds assert the TLB entry matches the live page table, so
+  // a missing shootdown is a hard failure, not silent corruption.
+  std::byte* HwPtr(CpuContext& ctx, vaddr_t vaddr);
+
+  // Uncosted translation for harness-internal work (verifier, tests, object
+  // construction bookkeeping).
+  std::byte* RawPtr(vaddr_t vaddr) const;
+
+  // 8-byte-aligned word access. Word accesses never straddle pages because
+  // the page size is a multiple of 8 and addresses are 8-aligned; the
+  // managed runtime stores everything as words.
+  std::uint64_t ReadWord(vaddr_t vaddr) const {
+    SVAGC_DCHECK((vaddr & 7) == 0);
+    return *reinterpret_cast<const std::uint64_t*>(RawPtr(vaddr));
+  }
+  void WriteWord(vaddr_t vaddr, std::uint64_t value) {
+    SVAGC_DCHECK((vaddr & 7) == 0);
+    *reinterpret_cast<std::uint64_t*>(RawPtr(vaddr)) = value;
+  }
+
+  // TLB-accounted word access for mutator code paths.
+  std::uint64_t ReadWordHw(CpuContext& ctx, vaddr_t vaddr) {
+    SVAGC_DCHECK((vaddr & 7) == 0);
+    if (trace_ != nullptr) trace_->OnAccess(vaddr, 8, /*is_write=*/false);
+    return *reinterpret_cast<const std::uint64_t*>(HwPtr(ctx, vaddr));
+  }
+  void WriteWordHw(CpuContext& ctx, vaddr_t vaddr, std::uint64_t value) {
+    SVAGC_DCHECK((vaddr & 7) == 0);
+    if (trace_ != nullptr) trace_->OnAccess(vaddr, 8, /*is_write=*/true);
+    *reinterpret_cast<std::uint64_t*>(HwPtr(ctx, vaddr)) = value;
+  }
+
+  // Cache residency assumption for bulk-copy cost. kAuto decides by the
+  // single operation's size; GC compaction passes kCold because it streams
+  // the whole heap within one pause — in the paper's multi-GiB heaps no
+  // object is cache-resident when its turn to move comes, and the scaled
+  // heaps here must not accidentally model LLC-warm compaction.
+  enum class CopyLocality { kAuto, kCold, kHot };
+
+  // memmove over the virtual address space: really copies frame bytes,
+  // charges modeled copy cycles (with the machine's bandwidth-contention
+  // factor) and handles overlapping ranges with memmove semantics.
+  void CopyBytes(CpuContext& ctx, vaddr_t dst, vaddr_t src, std::uint64_t bytes,
+                 CopyLocality locality = CopyLocality::kAuto);
+
+  // Zeroes a range (allocation-time init); charged as kAlloc.
+  void ZeroBytes(CpuContext& ctx, vaddr_t dst, std::uint64_t bytes);
+
+  // Models a mutator streaming pass over [vaddr, vaddr+bytes): charges
+  // kCompute at `cycles_per_byte`, probes the TLB once per page (so
+  // post-GC TLB-flush refills show up in application time — the SwapVA
+  // side cost the paper notes in §V-C), and emits one trace access.
+  void StreamTouch(CpuContext& ctx, vaddr_t vaddr, std::uint64_t bytes,
+                   double cycles_per_byte, bool is_write);
+
+  void set_trace(MemTraceSink* sink) { trace_ = sink; }
+  MemTraceSink* trace() const { return trace_; }
+
+ private:
+  Machine& machine_;
+  PhysicalMemory& phys_;
+  PageTable table_;
+  const std::uint64_t asid_;
+  MemTraceSink* trace_ = nullptr;
+};
+
+}  // namespace svagc::sim

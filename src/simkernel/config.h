@@ -1,0 +1,29 @@
+// Architectural constants for the simulated x86-64 memory subsystem.
+#pragma once
+
+#include <cstdint>
+
+namespace svagc::sim {
+
+inline constexpr std::uint64_t kPageShift = 12;
+inline constexpr std::uint64_t kPageSize = 1ULL << kPageShift;  // 4 KiB
+
+// x86-64 4-level paging: 9 index bits per level, 12 offset bits.
+inline constexpr std::uint64_t kLevelBits = 9;
+inline constexpr std::uint64_t kEntriesPerTable = 1ULL << kLevelBits;  // 512
+
+// Virtual-page-number field widths (vpn = vaddr >> kPageShift).
+inline constexpr std::uint64_t kPteIndexShift = 0;                    // bits 0..8
+inline constexpr std::uint64_t kPmdIndexShift = kLevelBits;           // bits 9..17
+inline constexpr std::uint64_t kPudIndexShift = 2 * kLevelBits;       // bits 18..26
+inline constexpr std::uint64_t kP4dIndexShift = 3 * kLevelBits;       // bits 27..35
+inline constexpr std::uint64_t kPgdIndexShift = 4 * kLevelBits;       // bits 36..44
+
+inline constexpr std::uint64_t kIndexMask = kEntriesPerTable - 1;
+
+using vaddr_t = std::uint64_t;
+using frame_t = std::uint64_t;  // physical frame number
+
+inline constexpr frame_t kInvalidFrame = ~0ULL;
+
+}  // namespace svagc::sim

@@ -1,0 +1,111 @@
+// Cycle-cost model for hardware events the simulation cannot incur natively.
+//
+// All experiment times in this repository are *modeled cycles*: real data
+// movement (memmove of frame contents, page-table walks over real radix
+// trees) is performed for correctness, and every architecturally significant
+// event is charged to a CycleAccount using the constants below. This makes
+// the reproduced figures deterministic and host-independent, which is the
+// point of the substitution: the paper's numbers come from a 32-core Xeon
+// that we do not have.
+//
+// Three calibrated profiles mirror the paper's testbeds:
+//   * Corei5_7600   — Figs. 1, 6, 8 testbed (3.5 GHz, DDR4-2400)
+//   * XeonGold6130  — main evaluation machine (2.1 GHz, DDR4-2666)
+//   * XeonGold6240  — Fig. 10(b) machine (2.6 GHz, DDR4-2933)
+// Constants are per-cycle figures derived from the usual published latencies
+// (syscall round trip ~0.3-0.5 us, IPI ~1-2 us, single-thread copy bandwidth
+// ~11-13 GB/s) scaled by each machine's clock.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace svagc::sim {
+
+// Categories let benches attribute modeled time (e.g. compaction vs rest).
+enum class CostKind : unsigned {
+  kSyscall = 0,      // kernel entry/exit
+  kPageWalk,         // page-table directory/PTE memory accesses
+  kPteLock,          // split-PTL acquire/release
+  kPteUpdate,        // PTE word swap/write + per-page loop overhead
+  kTlbFlushLocal,    // full local TLB flush
+  kTlbFlushPage,     // single-page local invalidation
+  kTlbRefill,        // page walk triggered by a post-flush TLB miss
+  kTlbHit,           // TLB hit on a translation
+  kIpi,              // IPI send cost (per target, charged to sender)
+  kCopy,             // byte copying (memmove path)
+  kCompute,          // mutator computation / GC per-object bookkeeping
+  kAlloc,            // allocation-time initialization
+  kNumKinds,
+};
+
+inline constexpr unsigned kNumCostKinds =
+    static_cast<unsigned>(CostKind::kNumKinds);
+
+const char* CostKindName(CostKind kind);
+
+// Per-thread (or per-simulated-core-context) cycle ledger.
+class CycleAccount {
+ public:
+  void Charge(CostKind kind, double cycles) {
+    total_ += cycles;
+    by_kind_[static_cast<unsigned>(kind)] += cycles;
+  }
+
+  void Merge(const CycleAccount& other) {
+    total_ += other.total_;
+    for (unsigned i = 0; i < kNumCostKinds; ++i) by_kind_[i] += other.by_kind_[i];
+  }
+
+  void Reset() {
+    total_ = 0;
+    by_kind_.fill(0);
+  }
+
+  double total() const { return total_; }
+  double ByKind(CostKind kind) const {
+    return by_kind_[static_cast<unsigned>(kind)];
+  }
+
+ private:
+  double total_ = 0;
+  std::array<double, kNumCostKinds> by_kind_{};
+};
+
+// Calibrated per-machine constants. All values are CPU cycles.
+struct CostProfile {
+  std::string name;
+  double ghz;  // informational; used only to convert cycles to wall time
+
+  double syscall_entry;          // kernel entry + exit round trip
+  double pagetable_access;       // one upper-level directory access (cached)
+  double pte_access;             // leaf PTE access (sequential, cache-hot)
+  double pte_lock_pair;          // split-PTL lock + unlock
+  double pte_update;             // PTE swap/write + loop bookkeeping, per page
+  double tlb_flush_local;        // full local TLB flush (CR3-style)
+  double tlb_flush_page;         // single invlpg
+  double tlb_refill;             // hardware walk on TLB miss after a flush
+  double tlb_hit;                // translation hit
+  double ipi_send;               // per remote target, charged to the sender
+  double ipi_handle;             // charged to the interrupted remote core
+  double copy_per_byte_cached;   // memmove throughput, working set <= LLC
+  double copy_per_byte_dram;     // memmove throughput, working set > LLC
+  double llc_bytes;              // cache-residency threshold for copy cost
+
+  // Memory-bandwidth saturation: with k concurrent copy-heavy contexts the
+  // per-context copy cost scales by max(1, k / saturation_streams).
+  double saturation_streams;
+
+  double CopyCyclesPerByte(std::uint64_t bytes) const {
+    return static_cast<double>(bytes) <= llc_bytes ? copy_per_byte_cached
+                                                   : copy_per_byte_dram;
+  }
+};
+
+// The paper's three testbeds.
+const CostProfile& ProfileCorei5_7600();
+const CostProfile& ProfileXeonGold6130();
+const CostProfile& ProfileXeonGold6240();
+
+}  // namespace svagc::sim

@@ -1,0 +1,47 @@
+#include "simkernel/machine.h"
+
+namespace svagc::sim {
+
+Machine::Machine(unsigned num_cores, const CostProfile& profile)
+    : num_cores_(num_cores), profile_(profile) {
+  SVAGC_CHECK(num_cores >= 1);
+  tlbs_.reserve(num_cores);
+  disturbance_.reserve(num_cores);
+  for (unsigned i = 0; i < num_cores; ++i) {
+    tlbs_.push_back(std::make_unique<Tlb>());
+    disturbance_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
+  }
+}
+
+void Machine::FlushLocalTlb(CpuContext& ctx, std::uint64_t asid) {
+  ctx.account.Charge(CostKind::kTlbFlushLocal, profile_.tlb_flush_local);
+  tlb(ctx.core_id).FlushAsid(asid);
+}
+
+void Machine::SendTlbShootdown(CpuContext& ctx, std::uint64_t asid) {
+  for (unsigned core = 0; core < num_cores_; ++core) {
+    if (core == ctx.core_id) continue;
+    ctx.account.Charge(CostKind::kIpi, profile_.ipi_send);
+    ipis_sent_.fetch_add(1, std::memory_order_relaxed);
+    // The remote core takes the interrupt and flushes: both the handler cost
+    // and the flush itself are stolen from whatever runs on that core.
+    disturbance_[core]->fetch_add(
+        static_cast<std::uint64_t>(profile_.ipi_handle +
+                                   profile_.tlb_flush_local),
+        std::memory_order_relaxed);
+    tlb(core).FlushAsid(asid);
+  }
+}
+
+std::uint64_t Machine::TotalDisturbanceCycles() const {
+  std::uint64_t total = 0;
+  for (const auto& cell : disturbance_) total += cell->load(std::memory_order_relaxed);
+  return total;
+}
+
+void Machine::ResetCounters() {
+  for (auto& cell : disturbance_) cell->store(0, std::memory_order_relaxed);
+  ipis_sent_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace svagc::sim

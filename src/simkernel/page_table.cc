@@ -1,0 +1,121 @@
+#include "simkernel/page_table.h"
+
+namespace svagc::sim {
+
+namespace {
+
+// With a 48-bit VA split into vpn = bits [12,48), the leaf (PTE) index is the
+// low 9 bits of the vpn and each successive level consumes 9 more bits.
+std::uint64_t Index(std::uint64_t vpn, unsigned level) {
+  return (vpn >> (level * kLevelBits)) & kIndexMask;
+}
+std::uint64_t PteIndex(std::uint64_t vpn) { return Index(vpn, 0); }
+
+}  // namespace
+
+PageTable::PageTable() : pgd_(std::make_unique<PgdTable>()) {}
+PageTable::~PageTable() = default;
+
+PteTable* PageTable::ResolveLeaf(std::uint64_t vpn, bool create) const {
+  // vpn layout (low to high): [pte:9][pmd:9][pud:9][p4d:9][pgd:9].
+  const std::uint64_t pmd_i = Index(vpn, 1);
+  const std::uint64_t pud_i = Index(vpn, 2);
+  const std::uint64_t p4d_i = Index(vpn, 3);
+  const std::uint64_t pgd_i = Index(vpn, 4);
+
+  auto& p4d_slot = pgd_->entries[pgd_i];
+  if (!p4d_slot) {
+    if (!create) return nullptr;
+    p4d_slot = std::make_unique<P4dTable>();
+  }
+  auto& pud_slot = p4d_slot->entries[p4d_i];
+  if (!pud_slot) {
+    if (!create) return nullptr;
+    pud_slot = std::make_unique<PudTable>();
+  }
+  auto& pmd_slot = pud_slot->entries[pud_i];
+  if (!pmd_slot) {
+    if (!create) return nullptr;
+    pmd_slot = std::make_unique<PmdTable>();
+  }
+  auto& pte_slot = pmd_slot->entries[pmd_i];
+  if (!pte_slot) {
+    if (!create) return nullptr;
+    pte_slot = std::make_unique<PteTable>();
+  }
+  return pte_slot.get();
+}
+
+void PageTable::Map(std::uint64_t vpn, frame_t frame) {
+  PteTable* leaf = ResolveLeaf(vpn, /*create=*/true);
+  Pte& pte = leaf->entries[PteIndex(vpn)];
+  SVAGC_CHECK(!pte.present());
+  pte = Pte::Make(frame);
+  ++mapped_pages_;
+}
+
+frame_t PageTable::Unmap(std::uint64_t vpn) {
+  PteTable* leaf = ResolveLeaf(vpn, /*create=*/false);
+  SVAGC_CHECK(leaf != nullptr);
+  Pte& pte = leaf->entries[PteIndex(vpn)];
+  SVAGC_CHECK(pte.present());
+  const frame_t frame = pte.frame();
+  pte = Pte::Empty();
+  --mapped_pages_;
+  return frame;
+}
+
+std::optional<frame_t> PageTable::Lookup(std::uint64_t vpn) const {
+  const PteTable* leaf = ResolveLeaf(vpn, /*create=*/false);
+  if (leaf == nullptr) return std::nullopt;
+  const Pte pte = leaf->entries[PteIndex(vpn)];
+  if (!pte.present()) return std::nullopt;
+  return pte.frame();
+}
+
+PteTable* PageTable::WalkToLeaf(std::uint64_t vpn, CycleAccount& acct,
+                                const CostProfile& cost,
+                                PmdCache* cache) const {
+  const std::uint64_t tag = vpn >> kLevelBits;
+  if (cache != nullptr && cache->tag == tag) {
+    // PMD cache hit: skip the four directory accesses (Fig. 7 step 1).
+    return cache->table;
+  }
+  // pgd_offset / p4d_offset / pud_offset / pmd_offset: four directory
+  // memory accesses.
+  acct.Charge(CostKind::kPageWalk, 4 * cost.pagetable_access);
+  PteTable* leaf = ResolveLeaf(vpn, /*create=*/false);
+  SVAGC_CHECK(leaf != nullptr);
+  if (cache != nullptr) {
+    cache->tag = tag;
+    cache->table = leaf;
+  }
+  return leaf;
+}
+
+Pte* PageTable::GetPteLocked(std::uint64_t vpn, SpinLock** ptlp,
+                             CycleAccount& acct, const CostProfile& cost,
+                             PmdCache* cache) {
+  PteTable* leaf = WalkToLeaf(vpn, acct, cost, cache);
+  // pte_offset_map_lock: leaf access + split-PTL acquire.
+  acct.Charge(CostKind::kPageWalk, cost.pte_access);
+  acct.Charge(CostKind::kPteLock, cost.pte_lock_pair);
+  leaf->lock.lock();
+  *ptlp = &leaf->lock;
+  return &leaf->entries[PteIndex(vpn)];
+}
+
+Pte* PageTable::GetPteRaw(std::uint64_t vpn) const {
+  PteTable* leaf = ResolveLeaf(vpn, /*create=*/false);
+  if (leaf == nullptr) return nullptr;
+  return &leaf->entries[PteIndex(vpn)];
+}
+
+std::optional<frame_t> PageTable::HardwareWalk(std::uint64_t vpn,
+                                               CycleAccount& acct,
+                                               const CostProfile& cost) const {
+  acct.Charge(CostKind::kTlbRefill, cost.tlb_refill);
+  return Lookup(vpn);
+}
+
+}  // namespace svagc::sim

@@ -1,0 +1,120 @@
+// Four-level x86-64-style page table with Linux-like split PTE locks.
+//
+// The radix tree is real: walks touch real directory memory, so PMD caching
+// eliminates real work in addition to modeled cycles. Leaf tables carry one
+// spinlock each (Linux's split page-table locks); Algorithm 1's
+// pte_offset_map_lock / pte_unmap_unlock pairing is preserved in
+// GetPteLocked / UnlockPte.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "simkernel/config.h"
+#include "simkernel/cost_model.h"
+#include "support/check.h"
+#include "support/spin_lock.h"
+
+namespace svagc::sim {
+
+// A PTE packs (frame << 1) | present. Frame numbers in this simulation are
+// indices into PhysicalMemory, not physical addresses, so no flag bits
+// beyond `present` are needed.
+struct Pte {
+  std::uint64_t value = 0;
+
+  bool present() const { return value & 1; }
+  frame_t frame() const {
+    SVAGC_DCHECK(present());
+    return value >> 1;
+  }
+  static Pte Make(frame_t frame) { return Pte{(frame << 1) | 1}; }
+  static Pte Empty() { return Pte{0}; }
+};
+
+struct PteTable {
+  SpinLock lock;  // split page-table lock, one per leaf table
+  std::array<Pte, kEntriesPerTable> entries{};
+};
+
+struct PmdTable {
+  std::array<std::unique_ptr<PteTable>, kEntriesPerTable> entries;
+};
+struct PudTable {
+  std::array<std::unique_ptr<PmdTable>, kEntriesPerTable> entries;
+};
+struct P4dTable {
+  std::array<std::unique_ptr<PudTable>, kEntriesPerTable> entries;
+};
+struct PgdTable {
+  std::array<std::unique_ptr<P4dTable>, kEntriesPerTable> entries;
+};
+
+// Caches the leaf table resolved for the previous page so sequential swaps
+// skip the PGD->P4D->PUD->PMD part of the walk (paper §III-B, Fig. 7).
+struct PmdCache {
+  std::uint64_t tag = ~0ULL;  // vpn >> kLevelBits (2 MiB granule)
+  PteTable* table = nullptr;
+
+  void Invalidate() {
+    tag = ~0ULL;
+    table = nullptr;
+  }
+};
+
+class PageTable {
+ public:
+  PageTable();
+  PageTable(const PageTable&) = delete;
+  PageTable& operator=(const PageTable&) = delete;
+  ~PageTable();
+
+  // Establishes vpn -> frame. Creates intermediate tables on demand.
+  // Not thread-safe against other Map/Unmap calls (mapping happens at
+  // address-space setup, like mmap under mmap_lock).
+  void Map(std::uint64_t vpn, frame_t frame);
+
+  // Removes the mapping; returns the previously mapped frame.
+  frame_t Unmap(std::uint64_t vpn);
+
+  // Read-only lookup used by the TLB-refill path. Returns nullopt when the
+  // page is not present. Thread-safe against concurrent PTE *value* updates
+  // (the swap paths) because leaf tables are never deallocated while mapped.
+  std::optional<frame_t> Lookup(std::uint64_t vpn) const;
+
+  // Algorithm 1's GETPTE: walks the tree charging modeled cycles, locks the
+  // leaf table and returns the PTE slot. `cache`, when non-null, implements
+  // PMD caching. Caller must pass the returned lock to UnlockPte.
+  Pte* GetPteLocked(std::uint64_t vpn, SpinLock** ptlp, CycleAccount& acct,
+                    const CostProfile& cost, PmdCache* cache);
+
+  // Directory walk only (charging costs, honoring the PMD cache); returns
+  // the leaf table without taking its lock. SwapVA uses this to lock the two
+  // PTEs of a pair in a deadlock-free (address-ordered) fashion, the
+  // equivalent of Linux checking ptl1 == ptl2 before double-locking.
+  PteTable* WalkToLeaf(std::uint64_t vpn, CycleAccount& acct,
+                       const CostProfile& cost, PmdCache* cache) const;
+
+  // pte_unmap_unlock.
+  static void UnlockPte(SpinLock* ptlp) { ptlp->unlock(); }
+
+  // Uncosted variant for kernel-internal bookkeeping and tests.
+  Pte* GetPteRaw(std::uint64_t vpn) const;
+
+  // Walks the tree without locking, charging only walk costs — models the
+  // hardware walker on a TLB miss.
+  std::optional<frame_t> HardwareWalk(std::uint64_t vpn, CycleAccount& acct,
+                                      const CostProfile& cost) const;
+
+  std::uint64_t mapped_pages() const { return mapped_pages_; }
+
+ private:
+  PteTable* ResolveLeaf(std::uint64_t vpn, bool create) const;
+
+  std::unique_ptr<PgdTable> pgd_;
+  std::uint64_t mapped_pages_ = 0;
+};
+
+}  // namespace svagc::sim

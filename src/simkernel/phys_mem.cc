@@ -1,0 +1,36 @@
+#include "simkernel/phys_mem.h"
+
+#include "support/align.h"
+
+namespace svagc::sim {
+
+PhysicalMemory::PhysicalMemory(std::uint64_t bytes)
+    : total_frames_(CeilDiv(bytes, kPageSize)),
+      backing_(new std::byte[total_frames_ << kPageShift]) {
+  SVAGC_CHECK(total_frames_ > 0);
+  free_list_.reserve(total_frames_);
+  // Push in reverse so the first allocations get the lowest frame numbers;
+  // keeps traces and tests readable.
+  for (std::uint64_t i = total_frames_; i > 0; --i) free_list_.push_back(i - 1);
+}
+
+frame_t PhysicalMemory::AllocFrame() {
+  SpinLockGuard guard(lock_);
+  SVAGC_CHECK(!free_list_.empty());
+  const frame_t frame = free_list_.back();
+  free_list_.pop_back();
+  return frame;
+}
+
+void PhysicalMemory::FreeFrame(frame_t frame) {
+  SVAGC_DCHECK(frame < total_frames_);
+  SpinLockGuard guard(lock_);
+  free_list_.push_back(frame);
+}
+
+std::uint64_t PhysicalMemory::free_frames() const {
+  SpinLockGuard guard(lock_);
+  return free_list_.size();
+}
+
+}  // namespace svagc::sim

@@ -1,0 +1,65 @@
+// Simulated physical memory: a real backing buffer carved into 4 KiB frames.
+//
+// Frames hold real bytes. The memmove GC path copies these bytes for real;
+// the SwapVA path swaps only PTEs, after which virtual addresses resolve to
+// different frames — the data genuinely moves without being copied, exactly
+// the zero-copy property the paper exploits.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "simkernel/config.h"
+#include "support/check.h"
+#include "support/spin_lock.h"
+
+namespace svagc::sim {
+
+class PhysicalMemory {
+ public:
+  explicit PhysicalMemory(std::uint64_t bytes);
+
+  PhysicalMemory(const PhysicalMemory&) = delete;
+  PhysicalMemory& operator=(const PhysicalMemory&) = delete;
+
+  // Allocates one frame; aborts on exhaustion (the caller sizes physical
+  // memory to the experiment; OOM here is a harness bug, not a GC event).
+  frame_t AllocFrame();
+  void FreeFrame(frame_t frame);
+
+  std::byte* FrameData(frame_t frame) {
+    SVAGC_DCHECK(frame < total_frames_);
+    return backing_.get() + (frame << kPageShift);
+  }
+  const std::byte* FrameData(frame_t frame) const {
+    SVAGC_DCHECK(frame < total_frames_);
+    return backing_.get() + (frame << kPageShift);
+  }
+
+  std::uint64_t total_frames() const { return total_frames_; }
+  std::uint64_t free_frames() const;
+
+  // Physical write traffic, maintained by the bulk-copy/zero paths. On a
+  // hybrid DRAM/NVM heap this is the wear-limited quantity SwapVA reduces
+  // (paper §VI: "replacing costly write operations of NVMs with zero-copying
+  // ones"); the NVM-wear ablation bench reads it.
+  void NoteBytesWritten(std::uint64_t bytes) {
+    bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  std::uint64_t bytes_written() const {
+    return bytes_written_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::uint64_t total_frames_;
+  std::unique_ptr<std::byte[]> backing_;
+
+  mutable SpinLock lock_;
+  std::vector<frame_t> free_list_;
+  std::atomic<std::uint64_t> bytes_written_{0};
+};
+
+}  // namespace svagc::sim

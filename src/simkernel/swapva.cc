@@ -1,0 +1,183 @@
+#include "simkernel/swapva.h"
+
+#include <numeric>
+
+#include "support/align.h"
+
+namespace svagc::sim {
+
+namespace {
+
+// Algorithm 2's FINDSWAPPLACE: the rotation permutation over a span of
+// `pages + delta` pages. sigma(i) = (i - delta) mod (pages + delta).
+std::uint64_t FindSwapPlace(std::uint64_t i, std::uint64_t delta,
+                            std::uint64_t pages) {
+  return i < delta ? i + pages : i - delta;
+}
+
+}  // namespace
+
+void Kernel::SysSwapVa(AddressSpace& as, CpuContext& ctx, vaddr_t a, vaddr_t b,
+                       std::uint64_t pages, const SwapVaOptions& opts) {
+  ctx.account.Charge(CostKind::kSyscall, machine_.cost().syscall_entry);
+  ++swapva_calls_;
+  if (pages == 0 || a == b) return;
+  SVAGC_CHECK(IsAligned(a, kPageSize) && IsAligned(b, kPageSize));
+  const vaddr_t lo = a < b ? a : b;
+  const vaddr_t hi = a < b ? b : a;
+  if (hi - lo < pages * kPageSize) {
+    SwapOverlap(as, ctx, lo, hi, pages, opts);
+  } else {
+    SwapDisjoint(as, ctx, a, b, pages, opts);
+    ApplyEndOfCallFlush(as, ctx, opts);
+    return;
+  }
+  // Overlap path flushed page-by-page locally; remote coherence still needs
+  // the policy's shootdown.
+  if (opts.tlb_policy == TlbPolicy::kGlobalPerCall) {
+    machine_.SendTlbShootdown(ctx, as.asid());
+  }
+}
+
+void Kernel::SysSwapVaVec(AddressSpace& as, CpuContext& ctx,
+                          std::span<const SwapRequest> requests,
+                          const SwapVaOptions& opts) {
+  // One kernel entry for the whole batch — the aggregation of Fig. 5(b).
+  ctx.account.Charge(CostKind::kSyscall, machine_.cost().syscall_entry);
+  ++swapva_calls_;
+  bool any = false;
+  for (const SwapRequest& req : requests) {
+    if (req.pages == 0 || req.a == req.b) continue;
+    SVAGC_CHECK(IsAligned(req.a, kPageSize) && IsAligned(req.b, kPageSize));
+    any = true;
+    const vaddr_t lo = req.a < req.b ? req.a : req.b;
+    const vaddr_t hi = req.a < req.b ? req.b : req.a;
+    if (hi - lo < req.pages * kPageSize) {
+      SwapOverlap(as, ctx, lo, hi, req.pages, opts);
+    } else {
+      SwapDisjoint(as, ctx, req.a, req.b, req.pages, opts);
+    }
+  }
+  if (any) ApplyEndOfCallFlush(as, ctx, opts);
+}
+
+void Kernel::SysFlushProcessTlbs(AddressSpace& as, CpuContext& ctx) {
+  ctx.account.Charge(CostKind::kSyscall, machine_.cost().syscall_entry);
+  machine_.FlushLocalTlb(ctx, as.asid());
+  machine_.SendTlbShootdown(ctx, as.asid());
+}
+
+void Kernel::SysPin(CpuContext& ctx) {
+  ctx.account.Charge(CostKind::kSyscall, machine_.cost().syscall_entry);
+}
+
+void Kernel::SysUnpin(CpuContext& ctx) {
+  ctx.account.Charge(CostKind::kSyscall, machine_.cost().syscall_entry);
+}
+
+void Kernel::SwapDisjoint(AddressSpace& as, CpuContext& ctx, vaddr_t a,
+                          vaddr_t b, std::uint64_t pages,
+                          const SwapVaOptions& opts) {
+  PageTable& table = as.page_table();
+  const CostProfile& cost = machine_.cost();
+  // Two independent PMD caches: the source and destination streams each walk
+  // sequentially through their own 2 MiB regions (Fig. 7).
+  PmdCache cache_a, cache_b;
+  PmdCache* pca = opts.pmd_caching ? &cache_a : nullptr;
+  PmdCache* pcb = opts.pmd_caching ? &cache_b : nullptr;
+
+  const std::uint64_t vpn_a0 = a >> kPageShift;
+  const std::uint64_t vpn_b0 = b >> kPageShift;
+  for (std::uint64_t i = 0; i < pages; ++i) {
+    const std::uint64_t vpn_a = vpn_a0 + i;
+    const std::uint64_t vpn_b = vpn_b0 + i;
+    PteTable* leaf_a = table.WalkToLeaf(vpn_a, ctx.account, cost, pca);
+    PteTable* leaf_b = table.WalkToLeaf(vpn_b, ctx.account, cost, pcb);
+    // pte_offset_map_lock on both PTEs; same-leaf pairs share one split-PTL
+    // and cross-leaf pairs are locked in address order (deadlock-free
+    // against concurrent GC workers).
+    ctx.account.Charge(CostKind::kPageWalk, 2 * cost.pte_access);
+    ctx.account.Charge(CostKind::kPteLock, 2 * cost.pte_lock_pair);
+    SpinLock* first = &leaf_a->lock;
+    SpinLock* second = &leaf_b->lock;
+    if (first == second) {
+      second = nullptr;
+    } else if (second < first) {
+      std::swap(first, second);
+    }
+    first->lock();
+    if (second != nullptr) second->lock();
+
+    Pte& pte_a = leaf_a->entries[vpn_a & kIndexMask];
+    Pte& pte_b = leaf_b->entries[vpn_b & kIndexMask];
+    SVAGC_CHECK(pte_a.present() && pte_b.present());
+    std::swap(pte_a.value, pte_b.value);
+    ctx.account.Charge(CostKind::kPteUpdate, cost.pte_update);
+
+    if (second != nullptr) second->unlock();
+    first->unlock();
+  }
+  if (opts.scrub_source) {
+    // Zero the frames now mapped under `a` (the relinquished destination
+    // frames): kernel-side clear_page loop, charged like allocation zeroing.
+    as.ZeroBytes(ctx, a, pages << kPageShift);
+  }
+  pages_swapped_ += pages;
+}
+
+void Kernel::SwapOverlap(AddressSpace& as, CpuContext& ctx, vaddr_t lo,
+                         vaddr_t hi, std::uint64_t pages,
+                         const SwapVaOptions& opts) {
+  PageTable& table = as.page_table();
+  const CostProfile& cost = machine_.cost();
+  Tlb& local_tlb = machine_.tlb(ctx.core_id);
+  PmdCache cache;
+  PmdCache* pc = opts.pmd_caching ? &cache : nullptr;
+
+  const std::uint64_t delta = (hi - lo) >> kPageShift;  // addIdx2
+  const std::uint64_t span = pages + delta;             // pages touched
+  const std::uint64_t cycles = std::gcd(delta, pages);  // upCurIdx
+  const std::uint64_t vpn0 = lo >> kPageShift;
+
+  auto locked_pte_value = [&](std::uint64_t idx) -> Pte* {
+    SpinLock* ptl = nullptr;
+    Pte* pte = table.GetPteLocked(vpn0 + idx, &ptl, ctx.account, cost, pc);
+    PageTable::UnlockPte(ptl);  // single-writer phase; lock pairs as in Alg. 1
+    return pte;
+  };
+  auto flush_page = [&](std::uint64_t idx) {
+    ctx.account.Charge(CostKind::kTlbFlushPage, cost.tlb_flush_page);
+    local_tlb.FlushPage(as.asid(), vpn0 + idx);
+  };
+
+  for (std::uint64_t cur = 0; cur < cycles; ++cur) {
+    Pte* pte_cur = locked_pte_value(cur);
+    Pte temp = *pte_cur;
+    std::uint64_t k = FindSwapPlace(cur, delta, pages);
+    while (k != cur) {
+      Pte* pte_k = locked_pte_value(k);
+      const Pte k_temp = *pte_k;
+      *pte_k = temp;
+      ctx.account.Charge(CostKind::kPteUpdate, cost.pte_update);
+      flush_page(k);
+      temp = k_temp;
+      k = FindSwapPlace(k, delta, pages);
+    }
+    *pte_cur = temp;
+    ctx.account.Charge(CostKind::kPteUpdate, cost.pte_update);
+    flush_page(cur);
+  }
+  pages_swapped_ += span;
+}
+
+void Kernel::ApplyEndOfCallFlush(AddressSpace& as, CpuContext& ctx,
+                                 const SwapVaOptions& opts) {
+  // flush_tlb_local(pid) — Algorithm 1 line 19.
+  machine_.FlushLocalTlb(ctx, as.asid());
+  if (opts.tlb_policy == TlbPolicy::kGlobalPerCall) {
+    // Unoptimized coherence: every call shoots down every other core.
+    machine_.SendTlbShootdown(ctx, as.asid());
+  }
+}
+
+}  // namespace svagc::sim

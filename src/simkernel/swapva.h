@@ -1,0 +1,101 @@
+// The SwapVA system call (paper §III) and its kernel-side implementation.
+//
+// SysSwapVa swaps two page-aligned virtual ranges by exchanging their PTEs
+// (Algorithm 1); overlapping ranges are handled with the gcd cycle-following
+// rotation of Algorithm 2, which is exactly an overlapping *move* — the
+// semantics GC compaction needs. SysSwapVaVec is the aggregation interface
+// of Fig. 5(b): many swap requests, one kernel entry, one TLB flush.
+//
+// TLB coherence policies (paper §IV, "Multi-Core Scalability of SwapVA"):
+//   * kGlobalPerCall — naive: after each call, flush locally and IPI every
+//     other core (what an unoptimized kernel must do for correctness).
+//   * kLocalOnly    — scalable: the caller pinned itself and issued one
+//     up-front SysFlushProcessTlbs; each call flushes only the local TLB
+//     (Algorithm 4's regime).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "simkernel/address_space.h"
+#include "simkernel/config.h"
+
+namespace svagc::sim {
+
+enum class TlbPolicy {
+  kGlobalPerCall,
+  kLocalOnly,
+};
+
+struct SwapVaOptions {
+  bool pmd_caching = true;
+  TlbPolicy tlb_policy = TlbPolicy::kGlobalPerCall;
+
+  // Security extension (paper §III-B): "to prevent data breaches between
+  // threads, the system call can be extended to clean up memory after each
+  // swapping". When set, the frames that land under the *source* range
+  // (i.e. the relinquished destination frames) are zeroed before the call
+  // returns, so a move leaves no stale payload behind. Costs one zeroing
+  // pass over the swapped pages; disjoint swaps only (a rotation has no
+  // relinquished side).
+  bool scrub_source = false;
+};
+
+struct SwapRequest {
+  vaddr_t a = 0;
+  vaddr_t b = 0;
+  std::uint64_t pages = 0;
+};
+
+// The kernel object: one per simulated machine. Stateless apart from the
+// machine reference; processes are represented by their address spaces plus
+// the pinning flag carried in ProcessState.
+class Kernel {
+ public:
+  explicit Kernel(Machine& machine) : machine_(machine) {}
+
+  Machine& machine() { return machine_; }
+
+  // swapva(2). `a` and `b` must be page-aligned; ranges may overlap (the
+  // overlap optimization kicks in automatically, as the paper's kernel
+  // does). Charges one syscall entry; applies the TLB policy at the end.
+  void SysSwapVa(AddressSpace& as, CpuContext& ctx, vaddr_t a, vaddr_t b,
+                 std::uint64_t pages, const SwapVaOptions& opts);
+
+  // swapva_vec(2): aggregated requests, one kernel entry, one flush.
+  void SysSwapVaVec(AddressSpace& as, CpuContext& ctx,
+                    std::span<const SwapRequest> requests,
+                    const SwapVaOptions& opts);
+
+  // flush_tlb_all_cores(pid): Algorithm 4 line 5 — one local flush plus a
+  // broadcast shootdown, invoked once before a pinned compaction phase.
+  void SysFlushProcessTlbs(AddressSpace& as, CpuContext& ctx);
+
+  // sched_setaffinity-style pin/unpin. In the simulation pinning is a
+  // correctness *declaration*: the caller promises all its translations
+  // during the pinned window happen on ctx.core_id, which lets SwapVA use
+  // kLocalOnly flushing. Charged as one syscall each.
+  void SysPin(CpuContext& ctx);
+  void SysUnpin(CpuContext& ctx);
+
+  std::uint64_t swapva_calls() const { return swapva_calls_; }
+  std::uint64_t pages_swapped() const { return pages_swapped_; }
+
+ private:
+  // Algorithm 1: disjoint ranges, pairwise PTE exchange.
+  void SwapDisjoint(AddressSpace& as, CpuContext& ctx, vaddr_t a, vaddr_t b,
+                    std::uint64_t pages, const SwapVaOptions& opts);
+
+  // Algorithm 2: overlapping ranges, gcd cycle rotation, O(pages + delta).
+  void SwapOverlap(AddressSpace& as, CpuContext& ctx, vaddr_t lo, vaddr_t hi,
+                   std::uint64_t pages, const SwapVaOptions& opts);
+
+  void ApplyEndOfCallFlush(AddressSpace& as, CpuContext& ctx,
+                           const SwapVaOptions& opts);
+
+  Machine& machine_;
+  std::uint64_t swapva_calls_ = 0;
+  std::uint64_t pages_swapped_ = 0;
+};
+
+}  // namespace svagc::sim

@@ -1,0 +1,71 @@
+#include "simkernel/tlb.h"
+
+namespace svagc::sim {
+
+Tlb::Tlb(unsigned entries, unsigned ways)
+    : sets_(entries / ways), ways_(ways), entries_(sets_ * ways_) {
+  SVAGC_CHECK(sets_ >= 1 && ways_ >= 1);
+}
+
+Tlb::LookupResult Tlb::Lookup(std::uint64_t asid, std::uint64_t vpn) {
+  SpinLockGuard guard(lock_);
+  Entry* set = &entries_[SetIndex(asid, vpn) * ways_];
+  for (unsigned w = 0; w < ways_; ++w) {
+    Entry& entry = set[w];
+    if (entry.valid && entry.asid == asid && entry.vpn == vpn) {
+      entry.lru = ++clock_;
+      ++hits_;
+      return {true, entry.frame};
+    }
+  }
+  ++misses_;
+  return {false, kInvalidFrame};
+}
+
+void Tlb::Insert(std::uint64_t asid, std::uint64_t vpn, frame_t frame) {
+  SpinLockGuard guard(lock_);
+  Entry* set = &entries_[SetIndex(asid, vpn) * ways_];
+  Entry* victim = &set[0];
+  for (unsigned w = 0; w < ways_; ++w) {
+    Entry& entry = set[w];
+    if (entry.valid && entry.asid == asid && entry.vpn == vpn) {
+      entry.frame = frame;  // refresh a racing duplicate
+      entry.lru = ++clock_;
+      return;
+    }
+    if (!entry.valid) {
+      victim = &entry;
+    } else if (victim->valid && entry.lru < victim->lru) {
+      victim = &entry;
+    }
+  }
+  *victim = Entry{true, asid, vpn, frame, ++clock_};
+}
+
+void Tlb::FlushAsid(std::uint64_t asid) {
+  SpinLockGuard guard(lock_);
+  ++flushes_;
+  for (Entry& entry : entries_) {
+    if (entry.valid && entry.asid == asid) entry.valid = false;
+  }
+}
+
+void Tlb::FlushPage(std::uint64_t asid, std::uint64_t vpn) {
+  SpinLockGuard guard(lock_);
+  Entry* set = &entries_[SetIndex(asid, vpn) * ways_];
+  for (unsigned w = 0; w < ways_; ++w) {
+    Entry& entry = set[w];
+    if (entry.valid && entry.asid == asid && entry.vpn == vpn) {
+      entry.valid = false;
+      return;
+    }
+  }
+}
+
+void Tlb::FlushAll() {
+  SpinLockGuard guard(lock_);
+  ++flushes_;
+  for (Entry& entry : entries_) entry.valid = false;
+}
+
+}  // namespace svagc::sim

@@ -1,0 +1,70 @@
+// Per-core TLB model.
+//
+// Set-associative, tagged by (address-space id, vpn), with LRU replacement.
+// It serves two roles: (1) cost accounting — translations hit or miss and a
+// miss costs a hardware page walk; (2) correctness of the shootdown logic —
+// a core that skips a needed flush would observe a stale frame, and the
+// address-space layer asserts translations against the live page table, so
+// shootdown bugs surface as hard failures in tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simkernel/config.h"
+#include "support/check.h"
+#include "support/spin_lock.h"
+
+namespace svagc::sim {
+
+class Tlb {
+ public:
+  // Defaults approximate a Skylake STLB: 1536 entries, 12-way.
+  explicit Tlb(unsigned entries = 1536, unsigned ways = 12);
+
+  struct LookupResult {
+    bool hit = false;
+    frame_t frame = kInvalidFrame;
+  };
+
+  // Thread-safe: remote cores may flush while the owner translates.
+  LookupResult Lookup(std::uint64_t asid, std::uint64_t vpn);
+  void Insert(std::uint64_t asid, std::uint64_t vpn, frame_t frame);
+
+  // Full flush of one address space's entries (CR3 switch / flush_tlb_local).
+  void FlushAsid(std::uint64_t asid);
+  // Single-page invalidation (invlpg / flush_tlb_page).
+  void FlushPage(std::uint64_t asid, std::uint64_t vpn);
+  void FlushAll();
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t flushes() const { return flushes_; }
+
+ private:
+  struct Entry {
+    bool valid = false;
+    std::uint64_t asid = 0;
+    std::uint64_t vpn = 0;
+    frame_t frame = kInvalidFrame;
+    std::uint64_t lru = 0;  // last-use stamp
+  };
+
+  std::size_t SetIndex(std::uint64_t asid, std::uint64_t vpn) const {
+    // Mix asid into the index so multi-process cores do not false-share sets.
+    return static_cast<std::size_t>((vpn ^ (asid * 0x9E3779B9ULL)) % sets_);
+  }
+
+  unsigned sets_;
+  unsigned ways_;
+  std::vector<Entry> entries_;  // sets_ x ways_, row-major
+  std::uint64_t clock_ = 0;
+
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t flushes_ = 0;
+
+  SpinLock lock_;
+};
+
+}  // namespace svagc::sim

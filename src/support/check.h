@@ -1,0 +1,32 @@
+// Lightweight always-on invariant checking.
+//
+// SVAGC_CHECK is enabled in all build types: a GC that silently corrupts the
+// heap is worse than one that aborts. Hot paths that cannot afford a branch
+// use SVAGC_DCHECK, which compiles away in release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace svagc {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace svagc
+
+#define SVAGC_CHECK(expr)                                   \
+  do {                                                      \
+    if (!(expr)) ::svagc::CheckFailed(__FILE__, __LINE__, #expr); \
+  } while (0)
+
+#ifdef NDEBUG
+#define SVAGC_DCHECK(expr) \
+  do {                     \
+  } while (0)
+#else
+#define SVAGC_DCHECK(expr) SVAGC_CHECK(expr)
+#endif

@@ -1,0 +1,64 @@
+// Deterministic, fast PRNG for workload generators and property tests.
+//
+// xoshiro256** by Blackman & Vigna. We avoid std::mt19937 in workload inner
+// loops: the generator is called per allocated object and per access, and
+// determinism across platforms matters for reproducible experiment tables.
+#pragma once
+
+#include <cstdint>
+
+namespace svagc {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    for (auto& word : state_) {
+      seed += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t NextU64() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound == 0 returns 0.
+  std::uint64_t NextBelow(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    // Lemire's multiply-shift rejection-free approximation is fine here: the
+    // tiny modulo bias is irrelevant for workload shaping.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(NextU64()) * bound) >> 64);
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  std::uint64_t NextInRange(std::uint64_t lo, std::uint64_t hi) {
+    return lo + NextBelow(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace svagc

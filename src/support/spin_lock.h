@@ -1,0 +1,50 @@
+// Minimal TTAS spinlock used for split page-table locks.
+//
+// The simulated kernel mirrors Linux's split-PTL design: one lock per leaf
+// page table. Critical sections are a handful of word writes, so a spinlock
+// beats std::mutex and, more importantly, matches the locking discipline of
+// Algorithm 1 in the paper (pte_offset_map_lock / pte_unmap_unlock).
+#pragma once
+
+#include <atomic>
+
+namespace svagc {
+
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() {
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) {
+#if defined(__x86_64__)
+        __builtin_ia32_pause();
+#endif
+      }
+    }
+  }
+
+  bool try_lock() { return !flag_.exchange(true, std::memory_order_acquire); }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+// RAII guard compatible with std::scoped_lock but without header weight.
+class SpinLockGuard {
+ public:
+  explicit SpinLockGuard(SpinLock& lock) : lock_(lock) { lock_.lock(); }
+  ~SpinLockGuard() { lock_.unlock(); }
+  SpinLockGuard(const SpinLockGuard&) = delete;
+  SpinLockGuard& operator=(const SpinLockGuard&) = delete;
+
+ private:
+  SpinLock& lock_;
+};
+
+}  // namespace svagc

@@ -1,0 +1,119 @@
+// Streaming statistics and latency recording used by the GC and benches.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "support/check.h"
+
+namespace svagc {
+
+// Running summary of a stream of samples (counts, cycles, bytes, ...).
+class Summary {
+ public:
+  void Add(double x) {
+    ++count_;
+    sum_ += x;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    // Welford's online variance.
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
+
+  void Merge(const Summary& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto n1 = static_cast<double>(count_);
+    const auto n2 = static_cast<double>(other.count_);
+    mean_ = (n1 * mean_ + n2 * other.mean_) / (n1 + n2);
+    m2_ += other.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double variance() const {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Retains every sample; used for pause-time percentiles where the number of
+// GC cycles per run is small (tens to thousands).
+class LatencyRecorder {
+ public:
+  void Record(std::uint64_t cycles) {
+    samples_.push_back(cycles);
+    summary_.Add(static_cast<double>(cycles));
+    sorted_ = false;
+  }
+
+  std::uint64_t count() const { return summary_.count(); }
+  double total() const { return summary_.sum(); }
+  double mean() const { return summary_.mean(); }
+  double max() const { return summary_.max(); }
+
+  // p in [0, 100].
+  double Percentile(double p) {
+    if (samples_.empty()) return 0.0;
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+    const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const auto hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return static_cast<double>(samples_[lo]) * (1.0 - frac) +
+           static_cast<double>(samples_[hi]) * frac;
+  }
+
+  const std::vector<std::uint64_t>& samples() const { return samples_; }
+
+ private:
+  std::vector<std::uint64_t> samples_;
+  Summary summary_;
+  bool sorted_ = false;
+};
+
+// Geometric mean helper for Table III style aggregates.
+class GeoMean {
+ public:
+  void Add(double x) {
+    SVAGC_CHECK(x > 0.0);
+    log_sum_ += std::log(x);
+    ++count_;
+  }
+  double Value() const {
+    return count_ == 0 ? 0.0 : std::exp(log_sum_ / static_cast<double>(count_));
+  }
+
+ private:
+  double log_sum_ = 0.0;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace svagc

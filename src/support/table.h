@@ -1,0 +1,63 @@
+// Plain-text table printer used by the bench harnesses so every reproduced
+// figure/table prints in a uniform, diffable format.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace svagc {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void Print(std::FILE* out = stdout) const {
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+    for (const auto& row : rows_) {
+      for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    }
+    PrintRow(out, headers_, widths);
+    std::string rule;
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      rule += std::string(widths[i] + 2, '-');
+      if (i + 1 < widths.size()) rule += '+';
+    }
+    std::fprintf(out, "%s\n", rule.c_str());
+    for (const auto& row : rows_) PrintRow(out, row, widths);
+  }
+
+ private:
+  static void PrintRow(std::FILE* out, const std::vector<std::string>& cells,
+                       const std::vector<std::size_t>& widths) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : kEmpty;
+      std::fprintf(out, " %-*s ", static_cast<int>(widths[i]), cell.c_str());
+      if (i + 1 < widths.size()) std::fprintf(out, "|");
+    }
+    std::fprintf(out, "\n");
+  }
+
+  inline static const std::string kEmpty;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// printf-style std::string formatting for table cells.
+inline std::string Format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  char buf[256];
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  return buf;
+}
+
+}  // namespace svagc

@@ -1,0 +1,91 @@
+// A gang of persistent worker threads for the parallel GC phases.
+//
+// Modeled after HotSpot's WorkGang: the gang is created once per collector
+// and each STW phase dispatches one closure that every worker executes with
+// its own worker id. Run() blocks until all workers have finished, giving
+// the fork-join structure the LISP2 phases need.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/check.h"
+
+namespace svagc {
+
+class WorkerGang {
+ public:
+  explicit WorkerGang(unsigned num_workers) : num_workers_(num_workers) {
+    SVAGC_CHECK(num_workers >= 1);
+    threads_.reserve(num_workers);
+    for (unsigned i = 0; i < num_workers; ++i) {
+      threads_.emplace_back([this, i] { WorkerLoop(i); });
+    }
+  }
+
+  WorkerGang(const WorkerGang&) = delete;
+  WorkerGang& operator=(const WorkerGang&) = delete;
+
+  ~WorkerGang() {
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      shutting_down_ = true;
+    }
+    dispatch_cv_.notify_all();
+    for (auto& thread : threads_) thread.join();
+  }
+
+  unsigned size() const { return num_workers_; }
+
+  // Executes `task(worker_id)` on every worker and waits for completion.
+  // Must not be called re-entrantly from within a task.
+  void Run(const std::function<void(unsigned)>& task) {
+    std::unique_lock<std::mutex> guard(mutex_);
+    SVAGC_CHECK(task_ == nullptr);
+    task_ = &task;
+    remaining_ = num_workers_;
+    ++epoch_;
+    dispatch_cv_.notify_all();
+    done_cv_.wait(guard, [this] { return remaining_ == 0; });
+    task_ = nullptr;
+  }
+
+ private:
+  void WorkerLoop(unsigned worker_id) {
+    std::uint64_t seen_epoch = 0;
+    for (;;) {
+      const std::function<void(unsigned)>* task = nullptr;
+      {
+        std::unique_lock<std::mutex> guard(mutex_);
+        dispatch_cv_.wait(guard, [&] {
+          return shutting_down_ || epoch_ != seen_epoch;
+        });
+        if (shutting_down_) return;
+        seen_epoch = epoch_;
+        task = task_;
+      }
+      (*task)(worker_id);
+      {
+        std::lock_guard<std::mutex> guard(mutex_);
+        if (--remaining_ == 0) done_cv_.notify_all();
+      }
+    }
+  }
+
+  const unsigned num_workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable dispatch_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(unsigned)>* task_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  unsigned remaining_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace svagc

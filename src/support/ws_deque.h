@@ -1,0 +1,112 @@
+// Chase–Lev work-stealing deque used by the parallel GC phases.
+//
+// The owner pushes/pops at the bottom; thieves steal from the top. This is
+// the classic structure HotSpot's ParallelGC task queues are based on. The
+// implementation follows the corrected C11-memory-model version from
+// Lê et al., "Correct and Efficient Work-Stealing for Weak Memory Models"
+// (PPoPP'13), fixed-capacity variant with overflow into a locked vector.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "support/check.h"
+#include "support/spin_lock.h"
+
+namespace svagc {
+
+template <typename T>
+class WorkStealingDeque {
+ public:
+  explicit WorkStealingDeque(std::size_t capacity_pow2 = 1 << 14)
+      : mask_(capacity_pow2 - 1), buffer_(capacity_pow2) {
+    SVAGC_CHECK((capacity_pow2 & mask_) == 0);  // power of two
+  }
+
+  // Owner-only.
+  void Push(T value) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    if (b - t > static_cast<std::int64_t>(mask_)) {
+      // Ring is full; spill to the overflow list rather than resizing the
+      // ring under concurrent thieves.
+      SpinLockGuard guard(overflow_lock_);
+      overflow_.push_back(std::move(value));
+      overflow_empty_.store(false, std::memory_order_relaxed);
+      return;
+    }
+    buffer_[static_cast<std::size_t>(b) & mask_] = std::move(value);
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  // Owner-only.
+  std::optional<T> Pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {
+      // Deque was empty; restore and try the overflow list.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return PopOverflow();
+    }
+    T value = buffer_[static_cast<std::size_t>(b) & mask_];
+    if (t == b) {
+      // Last element: race with thieves via CAS on top.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return PopOverflow();
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return value;
+  }
+
+  // Any thread.
+  std::optional<T> Steal() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return PopOverflow();
+    T value = buffer_[static_cast<std::size_t>(t) & mask_];
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return std::nullopt;  // lost the race; caller retries elsewhere
+    }
+    return value;
+  }
+
+  bool LooksEmpty() const {
+    return bottom_.load(std::memory_order_relaxed) <=
+               top_.load(std::memory_order_relaxed) &&
+           overflow_empty_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::optional<T> PopOverflow() {
+    if (overflow_empty_.load(std::memory_order_relaxed)) return std::nullopt;
+    SpinLockGuard guard(overflow_lock_);
+    if (overflow_.empty()) {
+      overflow_empty_.store(true, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    T value = std::move(overflow_.back());
+    overflow_.pop_back();
+    if (overflow_.empty()) overflow_empty_.store(true, std::memory_order_relaxed);
+    return value;
+  }
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  const std::size_t mask_;
+  std::vector<T> buffer_;
+
+  SpinLock overflow_lock_;
+  std::vector<T> overflow_;
+  std::atomic<bool> overflow_empty_{true};
+};
+
+}  // namespace svagc

@@ -1,0 +1,29 @@
+// Shared scaffolding for table-rooted churn workloads.
+#pragma once
+
+#include "workloads/workload.h"
+
+namespace svagc::workloads {
+
+// Base for workloads whose live set hangs off one root table of references.
+class TableWorkload : public Workload {
+ public:
+  const WorkloadInfo& info() const override { return info_; }
+
+ protected:
+  explicit TableWorkload(WorkloadInfo info, std::uint64_t seed = 42)
+      : info_(std::move(info)), rng_(seed) {}
+
+  // Rotates allocation across the JVM's logical threads so TLAB
+  // demographics match the benchmark's thread count.
+  unsigned NextThread(rt::Jvm& jvm) {
+    return next_thread_++ % jvm.num_mutators();
+  }
+
+  WorkloadInfo info_;
+  rt::RootSet::Handle table_ = 0;
+  Rng rng_;
+  unsigned next_thread_ = 0;
+};
+
+}  // namespace svagc::workloads

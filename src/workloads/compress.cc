@@ -1,0 +1,67 @@
+// Compress (SPECjvm2008): a streaming LZW-style compressor.
+//
+// Profile: a long-lived dictionary plus a high-churn pipeline of input
+// blocks and (smaller) compressed outputs; a ring of recent outputs stays
+// live. Medium-large objects, allocation-heavy.
+#include "workloads/churn_base.h"
+#include "workloads/factories.h"
+
+namespace svagc::workloads {
+
+namespace {
+
+constexpr std::uint64_t kInputBytes = 128 * 1024;
+constexpr std::uint64_t kOutputBytes = 64 * 1024;
+constexpr std::uint64_t kDictionaryBytes = 1024 * 1024;
+constexpr unsigned kRing = 24;  // retained recent outputs
+
+class CompressWorkload final : public TableWorkload {
+ public:
+  CompressWorkload()
+      : TableWorkload(WorkloadInfo{
+            .name = "compress",
+            .display_name = "Compress",
+            .suite = "SPECjvm2008",
+            .logical_threads = 40,
+            .min_heap_bytes = (kDictionaryBytes + kRing * kOutputBytes +
+                               4 * (kInputBytes + kOutputBytes)) *
+                              5 / 4,
+            .avg_object_bytes = (kInputBytes + kOutputBytes) / 2,
+        }) {}
+
+  void Setup(rt::Jvm& jvm) override {
+    // Slot 0: dictionary; slots 1..kRing: output ring.
+    table_ = jvm.roots().Add(AllocRefTable(jvm, kRing + 1, 0));
+    const rt::vaddr_t dict = AllocDataArray(jvm, kDictionaryBytes, 0);
+    jvm.View(jvm.roots().Get(table_)).set_ref(0, dict);
+  }
+
+  void Iterate(rt::Jvm& jvm) override {
+    for (unsigned block = 0; block < 4; ++block) {
+      const unsigned t = NextThread(jvm);
+      // Read a fresh input block, consult the dictionary, emit compressed.
+      const rt::vaddr_t input = AllocDataArray(jvm, kInputBytes, t);
+      StreamOverObject(jvm, t, input, 0.45, true);  // fill + scan
+      {
+        rt::ObjectView table = jvm.View(jvm.roots().Get(table_));
+        StreamOverObject(jvm, t, table.ref(0), 0.1, false);  // dictionary
+      }
+      const rt::vaddr_t output = AllocDataArray(jvm, kOutputBytes, t);
+      StreamOverObject(jvm, t, output, 0.3, true);
+      // Retain in the ring (the displaced output and the input die).
+      jvm.View(jvm.roots().Get(table_)).set_ref(1 + ring_pos_, output);
+      ring_pos_ = (ring_pos_ + 1) % kRing;
+    }
+  }
+
+ private:
+  unsigned ring_pos_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> MakeCompress() {
+  return std::make_unique<CompressWorkload>();
+}
+
+}  // namespace svagc::workloads

@@ -1,0 +1,31 @@
+// Internal: per-benchmark factory functions wired up by the registry.
+#pragma once
+
+#include <memory>
+
+#include "workloads/workload.h"
+
+namespace svagc::workloads {
+
+std::unique_ptr<Workload> MakeFftLarge();
+std::unique_ptr<Workload> MakeFftLarge8();
+std::unique_ptr<Workload> MakeFftLarge16();
+
+std::unique_ptr<Workload> MakeSparseLarge();
+std::unique_ptr<Workload> MakeSparseLarge2();
+std::unique_ptr<Workload> MakeSparseLarge4();
+
+std::unique_ptr<Workload> MakeSorLarge();
+std::unique_ptr<Workload> MakeSorLargeX10();
+
+std::unique_ptr<Workload> MakeLuLarge();
+std::unique_ptr<Workload> MakeCompress();
+std::unique_ptr<Workload> MakeSigverify();
+std::unique_ptr<Workload> MakeSigverify10M();
+std::unique_ptr<Workload> MakeCryptoAes();
+std::unique_ptr<Workload> MakePageRank();
+std::unique_ptr<Workload> MakeBisort();
+std::unique_ptr<Workload> MakeParallelSort();
+std::unique_ptr<Workload> MakeLruCache();
+
+}  // namespace svagc::workloads

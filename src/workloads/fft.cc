@@ -1,0 +1,89 @@
+// FFT.large (SPECjvm2008) and its 1/8 and 1/16 input-size variants.
+//
+// Profile (Lengauer et al., cited by the paper): average object ~64 KiB —
+// complex-signal chunks. Few, large, mostly long-lived objects with periodic
+// replacement: the demographic SwapVA benefits most from.
+#include "workloads/churn_base.h"
+#include "workloads/factories.h"
+
+namespace svagc::workloads {
+
+namespace {
+
+constexpr std::uint64_t kChunkBytes = 64 * 1024;
+
+class FftWorkload final : public TableWorkload {
+ public:
+  FftWorkload(const char* name, const char* display, unsigned chunks,
+              unsigned threads)
+      : TableWorkload(WorkloadInfo{
+            .name = name,
+            .display_name = display,
+            .suite = "SPECjvm2008",
+            .logical_threads = threads,
+            .min_heap_bytes = MinHeap(chunks),
+            .avg_object_bytes = kChunkBytes,
+        }),
+        num_chunks_(chunks) {}
+
+  static std::uint64_t MinHeap(unsigned chunks) {
+    // Live set (chunks + twiddle factors) plus transient headroom for one
+    // iteration's churn.
+    return (chunks + 4) * (kChunkBytes + 8192) * 5 / 4;
+  }
+
+  void Setup(rt::Jvm& jvm) override {
+    table_ = jvm.roots().Add(AllocRefTable(jvm, num_chunks_ + 1, 0));
+    for (unsigned i = 0; i < num_chunks_; ++i) {
+      const rt::vaddr_t chunk =
+          AllocDataArray(jvm, kChunkBytes, NextThread(jvm));
+      // Allocation may have triggered a GC that moved the table: re-fetch
+      // through the root before every dereference.
+      jvm.View(jvm.roots().Get(table_)).set_ref(i, chunk);
+    }
+    // Twiddle-factor table, read-only thereafter.
+    const rt::vaddr_t twiddles = AllocDataArray(jvm, kChunkBytes / 2, 0);
+    jvm.View(jvm.roots().Get(table_)).set_ref(num_chunks_, twiddles);
+  }
+
+  void Iterate(rt::Jvm& jvm) override {
+    rt::ObjectView table(jvm.address_space(), jvm.roots().Get(table_));
+    // Butterfly passes: read+write over a few chunks with the twiddles.
+    for (unsigned pass = 0; pass < 4; ++pass) {
+      const unsigned t = NextThread(jvm);
+      const unsigned i =
+          static_cast<unsigned>(rng_.NextBelow(num_chunks_));
+      StreamOverObject(jvm, t, table.ref(i), /*cycles_per_byte=*/0.35, true);
+      StreamOverObject(jvm, t, table.ref(num_chunks_), 0.1, false);
+    }
+    // Stage rotation: an eighth of the chunks are recomputed into fresh
+    // arrays, retiring the old ones as garbage.
+    const unsigned replace = std::max(1u, num_chunks_ / 8);
+    for (unsigned r = 0; r < replace; ++r) {
+      const unsigned t = NextThread(jvm);
+      const unsigned i =
+          static_cast<unsigned>(rng_.NextBelow(num_chunks_));
+      const rt::vaddr_t fresh = AllocDataArray(jvm, kChunkBytes, t);
+      table = jvm.View(jvm.roots().Get(table_));  // GC may have run
+      StreamOverObject(jvm, t, fresh, 0.35, true);
+      table.set_ref(i, fresh);
+    }
+  }
+
+ private:
+  unsigned num_chunks_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> MakeFftLarge() {
+  return std::make_unique<FftWorkload>("fft.large", "FFT.large", 192, 36);
+}
+std::unique_ptr<Workload> MakeFftLarge8() {
+  return std::make_unique<FftWorkload>("fft.large/8", "FFT.large/8", 24, 36);
+}
+std::unique_ptr<Workload> MakeFftLarge16() {
+  return std::make_unique<FftWorkload>("fft.large/16", "FFT.large/16", 12, 36);
+}
+
+}  // namespace svagc::workloads

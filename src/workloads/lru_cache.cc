@@ -1,0 +1,78 @@
+// LRUCache: the paper's synthesized memory-bound benchmark (Fig. 2 and the
+// §V-B scalability study): a single-threaded cache storing objects of
+// uniformly random size, evicting least-recently-used entries.
+//
+// Paper configuration: 2K entries, sizes in [1, 2M] bytes. Scaled 1:8 on
+// both axes: 256 entries, sizes in [1, 256K] — average live set ~128 MiB in
+// the paper, ~32 MiB here.
+#include "workloads/churn_base.h"
+#include "workloads/factories.h"
+
+namespace svagc::workloads {
+
+namespace {
+
+constexpr unsigned kEntries = 256;
+constexpr std::uint64_t kMaxValueBytes = 256 * 1024;
+
+class LruCacheWorkload final : public TableWorkload {
+ public:
+  LruCacheWorkload()
+      : TableWorkload(WorkloadInfo{
+            .name = "lrucache",
+            .display_name = "LRUCache",
+            .suite = "-",
+            .logical_threads = 1,
+            .min_heap_bytes = kEntries * (kMaxValueBytes / 2 + 64) * 5 / 4,
+            .avg_object_bytes = kMaxValueBytes / 2,
+        }) {}
+
+  void Setup(rt::Jvm& jvm) override {
+    table_ = jvm.roots().Add(AllocRefTable(jvm, kEntries, 0));
+    stamps_.assign(kEntries, 0);
+    // Warm the cache to capacity.
+    for (unsigned i = 0; i < kEntries; ++i) Put(jvm, i);
+  }
+
+  void Iterate(rt::Jvm& jvm) override {
+    for (unsigned op = 0; op < 24; ++op) {
+      ++clock_;
+      const unsigned slot = static_cast<unsigned>(rng_.NextBelow(kEntries));
+      if (rng_.NextBelow(100) < 50) {
+        // GET: touch the value, refresh recency.
+        const rt::vaddr_t value = jvm.View(jvm.roots().Get(table_)).ref(slot);
+        if (value != 0) StreamOverObject(jvm, 0, value, 0.2, false);
+        stamps_[slot] = clock_;
+      } else {
+        // PUT: evict the LRU victim, insert a fresh random-size value.
+        unsigned victim = 0;
+        for (unsigned i = 1; i < kEntries; ++i) {
+          if (stamps_[i] < stamps_[victim]) victim = i;
+        }
+        Put(jvm, victim);
+      }
+    }
+  }
+
+  unsigned default_iterations() const override { return 40; }
+
+ private:
+  void Put(rt::Jvm& jvm, unsigned slot) {
+    const std::uint64_t bytes = rng_.NextInRange(1, kMaxValueBytes);
+    const rt::vaddr_t value = AllocDataArray(jvm, bytes, 0);
+    jvm.View(jvm.roots().Get(table_)).set_ref(slot, value);
+    StreamOverObject(jvm, 0, value, 0.2, true);
+    stamps_[slot] = ++clock_;
+  }
+
+  std::vector<std::uint64_t> stamps_;
+  std::uint64_t clock_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> MakeLruCache() {
+  return std::make_unique<LruCacheWorkload>();
+}
+
+}  // namespace svagc::workloads

@@ -1,0 +1,93 @@
+// PageRank (Spark-bench "PR"): random graph, 78K nodes / 780K edges in the
+// paper, scaled here (32K nodes / 320K edges) with the same 1:10
+// node:edge ratio.
+//
+// Profile: reference-heavy — adjacency chunks are reachable through a deep
+// table — plus per-superstep rank-vector churn. Exercises the marking and
+// pointer-adjustment phases much harder than the array kernels.
+#include "workloads/churn_base.h"
+#include "workloads/factories.h"
+
+namespace svagc::workloads {
+
+namespace {
+
+constexpr unsigned kNodes = 32 * 1024;
+constexpr unsigned kEdges = 320 * 1024;
+constexpr unsigned kChunkEdges = 8192;            // edges per adjacency chunk
+constexpr unsigned kChunks = kEdges / kChunkEdges;
+constexpr std::uint64_t kRankBytes = kNodes * 8;  // one double per node
+
+class PageRankWorkload final : public TableWorkload {
+ public:
+  PageRankWorkload()
+      : TableWorkload(WorkloadInfo{
+            .name = "pagerank",
+            .display_name = "PR",
+            .suite = "Spark",
+            .logical_threads = 18,
+            .min_heap_bytes = (kChunks * (kChunkEdges * 8 + 64) +
+                               4 * kRankBytes + 64 * 1024) *
+                              5 / 4,
+            .avg_object_bytes = kChunkEdges * 8,
+        }) {}
+
+  void Setup(rt::Jvm& jvm) override {
+    // Layout: [0..kChunks) adjacency chunks, then ranks, next_ranks, degree.
+    table_ = jvm.roots().Add(AllocRefTable(jvm, kChunks + 3, 0));
+    for (unsigned c = 0; c < kChunks; ++c) {
+      const rt::vaddr_t chunk = NewAdjacencyChunk(jvm);
+      jvm.View(jvm.roots().Get(table_)).set_ref(c, chunk);
+    }
+    for (unsigned v = 0; v < 3; ++v) {
+      const rt::vaddr_t vec = AllocDataArray(jvm, kRankBytes, 0);
+      jvm.View(jvm.roots().Get(table_)).set_ref(kChunks + v, vec);
+    }
+  }
+
+  void Iterate(rt::Jvm& jvm) override {
+    // One superstep: scatter contributions chunk by chunk, then swap in a
+    // freshly allocated rank vector (the Spark immutable-RDD pattern: every
+    // superstep's output is a new allocation).
+    const rt::vaddr_t next_ranks = AllocDataArray(jvm, kRankBytes, 0);
+    jvm.View(jvm.roots().Get(table_)).set_ref(kChunks + 1, next_ranks);
+    {
+      rt::ObjectView table = jvm.View(jvm.roots().Get(table_));
+      for (unsigned c = 0; c < kChunks; ++c) {
+        const unsigned t = NextThread(jvm);
+        StreamOverObject(jvm, t, table.ref(c), 0.3, false);  // edges
+        StreamOverObject(jvm, t, table.ref(kChunks), 0.2, false);  // ranks
+        StreamOverObject(jvm, t, table.ref(kChunks + 1), 0.2, true);
+      }
+      // Rotate: next becomes current.
+      table.set_ref(kChunks, table.ref(kChunks + 1));
+    }
+    // Graph mutation: a few adjacency chunks are rebuilt.
+    for (unsigned r = 0; r < kChunks / 16; ++r) {
+      const unsigned c = static_cast<unsigned>(rng_.NextBelow(kChunks));
+      const rt::vaddr_t chunk = NewAdjacencyChunk(jvm);
+      jvm.View(jvm.roots().Get(table_)).set_ref(c, chunk);
+    }
+  }
+
+ private:
+  rt::vaddr_t NewAdjacencyChunk(rt::Jvm& jvm) {
+    const unsigned t = NextThread(jvm);
+    const rt::vaddr_t chunk = AllocDataArray(jvm, kChunkEdges * 8, t);
+    // Fill with random endpoints (real data: tests read it back).
+    rt::ObjectView view = jvm.View(chunk);
+    for (std::uint64_t i = 0; i < view.data_words(); i += 64) {
+      view.set_data_word(i, rng_.NextBelow(kNodes));
+    }
+    StreamOverObject(jvm, t, chunk, 0.2, true);
+    return chunk;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> MakePageRank() {
+  return std::make_unique<PageRankWorkload>();
+}
+
+}  // namespace svagc::workloads

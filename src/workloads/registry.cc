@@ -1,0 +1,66 @@
+#include <utility>
+
+#include "workloads/factories.h"
+#include "workloads/workload.h"
+
+namespace svagc::workloads {
+
+namespace {
+
+struct Entry {
+  const char* name;
+  WorkloadFactory factory;
+};
+
+constexpr Entry kRegistry[] = {
+    {"fft.large", &MakeFftLarge},
+    {"fft.large/8", &MakeFftLarge8},
+    {"fft.large/16", &MakeFftLarge16},
+    {"sparse.large", &MakeSparseLarge},
+    {"sparse.large/2", &MakeSparseLarge2},
+    {"sparse.large/4", &MakeSparseLarge4},
+    {"sor.large", &MakeSorLarge},
+    {"sor.large.x10", &MakeSorLargeX10},
+    {"lu.large", &MakeLuLarge},
+    {"compress", &MakeCompress},
+    {"sigverify", &MakeSigverify},
+    {"sigverify.10m", &MakeSigverify10M},
+    {"crypto.aes", &MakeCryptoAes},
+    {"pagerank", &MakePageRank},
+    {"bisort", &MakeBisort},
+    {"parallelsort", &MakeParallelSort},
+    {"lrucache", &MakeLruCache},
+};
+
+}  // namespace
+
+std::vector<std::string> WorkloadNames() {
+  std::vector<std::string> names;
+  names.reserve(std::size(kRegistry));
+  for (const Entry& entry : kRegistry) names.emplace_back(entry.name);
+  return names;
+}
+
+std::unique_ptr<Workload> MakeWorkload(const std::string& name) {
+  for (const Entry& entry : kRegistry) {
+    if (name == entry.name) return entry.factory();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> TableIIWorkloads() {
+  return {"fft.large", "sparse.large", "sor.large",    "lu.large",
+          "compress",  "sigverify",    "crypto.aes",   "pagerank",
+          "bisort",    "parallelsort", "lrucache"};
+}
+
+std::vector<std::string> EvaluationWorkloads() {
+  // Fig. 11 / Fig. 15 / Table III row order.
+  return {"bisort",       "parallelsort",   "sparse.large/4",
+          "sparse.large/2", "sparse.large", "fft.large/16",
+          "fft.large/8",  "fft.large",      "sor.large.x10",
+          "lu.large",     "crypto.aes",     "sigverify",
+          "compress",     "pagerank"};
+}
+
+}  // namespace svagc::workloads

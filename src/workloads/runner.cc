@@ -1,0 +1,225 @@
+#include "workloads/runner.h"
+
+#include "gc/lisp2.h"
+#include "gc/parallel_gc.h"
+#include "gc/shenandoah_gc.h"
+#include "runtime/heap_verifier.h"
+#include "support/align.h"
+
+namespace svagc::workloads {
+
+namespace {
+
+bool UsesAlignedLargeObjects(CollectorKind kind) {
+  switch (kind) {
+    case CollectorKind::kSvagc:
+    case CollectorKind::kSvagcNoSwap:
+    case CollectorKind::kSvagcNaiveTlb:
+      return true;
+    case CollectorKind::kParallelGc:
+    case CollectorKind::kShenandoah:
+    case CollectorKind::kSerialLisp2:
+      return false;
+  }
+  return false;
+}
+
+std::unique_ptr<rt::CollectorIface> MakeCollector(CollectorKind kind,
+                                                  sim::Machine& machine,
+                                                  const RunConfig& config,
+                                                  unsigned first_core) {
+  core::SvagcConfig svagc;
+  svagc.move.threshold_pages = config.swap_threshold_pages;
+  switch (kind) {
+    case CollectorKind::kSvagc:
+      return std::make_unique<core::SvagcCollector>(machine, config.gc_threads,
+                                                    first_core, svagc);
+    case CollectorKind::kSvagcNoSwap:
+      svagc.move.use_swapva = false;
+      return std::make_unique<core::SvagcCollector>(machine, config.gc_threads,
+                                                    first_core, svagc);
+    case CollectorKind::kSvagcNaiveTlb:
+      svagc.pinned_compaction = false;
+      return std::make_unique<core::SvagcCollector>(machine, config.gc_threads,
+                                                    first_core, svagc);
+    case CollectorKind::kParallelGc:
+      return std::make_unique<gc::ParallelGcLike>(machine, config.gc_threads,
+                                                  first_core);
+    case CollectorKind::kShenandoah:
+      return std::make_unique<gc::ShenandoahLike>(machine, config.gc_threads,
+                                                  first_core);
+    case CollectorKind::kSerialLisp2:
+      return std::make_unique<gc::SerialLisp2>(machine, first_core);
+  }
+  SVAGC_CHECK(false);
+  return nullptr;
+}
+
+struct JvmBundle {
+  std::unique_ptr<rt::Jvm> jvm;
+  std::unique_ptr<Workload> workload;
+  unsigned mutator_core = 0;
+};
+
+JvmBundle MakeJvm(const RunConfig& config, sim::Machine& machine,
+                  sim::PhysicalMemory& phys, sim::Kernel& kernel,
+                  unsigned mutator_core, unsigned gc_first_core,
+                  rt::vaddr_t heap_base) {
+  JvmBundle bundle;
+  bundle.workload = MakeWorkload(config.workload);
+  SVAGC_CHECK(bundle.workload != nullptr);
+  const WorkloadInfo& info = bundle.workload->info();
+
+  rt::JvmConfig jvm_config;
+  jvm_config.heap.base = heap_base;
+  jvm_config.heap.capacity = AlignUp(
+      static_cast<std::uint64_t>(static_cast<double>(info.min_heap_bytes) *
+                                 config.heap_factor),
+      sim::kPageSize);
+  jvm_config.heap.swap_threshold_pages = config.swap_threshold_pages;
+  jvm_config.heap.page_align_large = UsesAlignedLargeObjects(config.collector);
+  jvm_config.logical_threads = info.logical_threads;
+  jvm_config.mutator_core = mutator_core;
+  jvm_config.gc_threads = config.gc_threads;
+  jvm_config.name = info.name;
+
+  bundle.jvm = std::make_unique<rt::Jvm>(machine, phys, kernel, jvm_config);
+  bundle.jvm->set_collector(
+      MakeCollector(config.collector, machine, config, gc_first_core));
+  bundle.jvm->address_space().set_trace(config.trace);
+  bundle.mutator_core = mutator_core;
+  return bundle;
+}
+
+RunResult Harvest(const RunConfig& config, sim::Machine& machine,
+                  JvmBundle& bundle, unsigned iterations) {
+  RunResult result;
+  rt::Jvm& jvm = *bundle.jvm;
+  result.info = bundle.workload->info();
+  result.collector_name = jvm.collector().name();
+  result.iterations = iterations;
+  result.heap_bytes = jvm.heap().capacity();
+
+  const rt::GcLog& log = jvm.collector().log();
+  result.gc_count = log.collections;
+  result.gc_total_cycles = log.pauses.total();
+  result.gc_avg_cycles = log.pauses.mean();
+  result.gc_max_cycles = log.pauses.max();
+  result.phase_sum = log.Sum();
+
+  result.mutator_cycles = jvm.MutatorCycles();
+  result.disturbance_cycles =
+      static_cast<double>(machine.DisturbanceCycles(bundle.mutator_core));
+  result.app_cycles =
+      result.mutator_cycles + result.gc_total_cycles + result.disturbance_cycles;
+  const double seconds = result.app_cycles / (machine.cost().ghz * 1e9);
+  result.throughput_ops = seconds > 0 ? iterations / seconds : 0;
+
+  result.alignment_waste_bytes = jvm.heap().alignment_waste_bytes();
+  result.physical_bytes_written = jvm.address_space().phys().bytes_written();
+  result.bytes_copied = log.bytes_copied.load();
+  result.bytes_swapped = log.bytes_swapped.load();
+  result.swap_calls = log.swap_calls.load();
+  result.ipis_sent = machine.TotalIpisSent();
+
+  if (config.verify_heap) {
+    const rt::VerifyResult verify = rt::VerifyHeap(jvm);
+    if (!verify.ok) {
+      std::fprintf(stderr, "heap verification failed (%s / %s): %s\n",
+                   result.info.name.c_str(), result.collector_name.c_str(),
+                   verify.error.c_str());
+    }
+    SVAGC_CHECK(verify.ok);
+  }
+  return result;
+}
+
+}  // namespace
+
+const char* CollectorKindName(CollectorKind kind) {
+  switch (kind) {
+    case CollectorKind::kSvagc:
+      return "SVAGC";
+    case CollectorKind::kSvagcNoSwap:
+      return "SVAGC(memmove)";
+    case CollectorKind::kSvagcNaiveTlb:
+      return "SVAGC(naiveTLB)";
+    case CollectorKind::kParallelGc:
+      return "ParallelGC";
+    case CollectorKind::kShenandoah:
+      return "Shenandoah";
+    case CollectorKind::kSerialLisp2:
+      return "SerialLISP2";
+  }
+  return "?";
+}
+
+RunResult RunWorkload(const RunConfig& config) {
+  const sim::CostProfile& profile =
+      config.profile != nullptr ? *config.profile : sim::ProfileXeonGold6130();
+  sim::Machine machine(config.machine_cores, profile);
+  sim::Kernel kernel(machine);
+
+  // Physical memory: the heap plus slack for page-table-free bookkeeping.
+  auto workload_probe = MakeWorkload(config.workload);
+  SVAGC_CHECK(workload_probe != nullptr);
+  const std::uint64_t heap_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(workload_probe->info().min_heap_bytes) *
+      config.heap_factor);
+  sim::PhysicalMemory phys(heap_bytes + (8ULL << 20));
+
+  JvmBundle bundle = MakeJvm(config, machine, phys, kernel,
+                             /*mutator_core=*/0, /*gc_first_core=*/0,
+                             /*heap_base=*/1ULL << 32);
+  bundle.workload->Setup(*bundle.jvm);
+  const unsigned iterations = config.iterations != 0
+                                  ? config.iterations
+                                  : bundle.workload->default_iterations();
+  for (unsigned i = 0; i < iterations; ++i) bundle.workload->Iterate(*bundle.jvm);
+  return Harvest(config, machine, bundle, iterations);
+}
+
+std::vector<RunResult> RunMultiJvm(const RunConfig& config, unsigned num_jvms) {
+  SVAGC_CHECK(num_jvms >= 1);
+  const sim::CostProfile& profile =
+      config.profile != nullptr ? *config.profile : sim::ProfileXeonGold6130();
+  sim::Machine machine(config.machine_cores, profile);
+  sim::Kernel kernel(machine);
+  machine.SetActiveMemoryStreams(num_jvms);
+
+  auto workload_probe = MakeWorkload(config.workload);
+  SVAGC_CHECK(workload_probe != nullptr);
+  const std::uint64_t heap_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(workload_probe->info().min_heap_bytes) *
+      config.heap_factor);
+  sim::PhysicalMemory phys((heap_bytes + (8ULL << 20)) * num_jvms);
+
+  std::vector<JvmBundle> bundles;
+  bundles.reserve(num_jvms);
+  for (unsigned j = 0; j < num_jvms; ++j) {
+    const unsigned mutator_core = j % config.machine_cores;
+    const unsigned gc_first_core =
+        (j * config.gc_threads) % config.machine_cores;
+    bundles.push_back(MakeJvm(config, machine, phys, kernel, mutator_core,
+                              gc_first_core,
+                              (1ULL << 32) + j * (1ULL << 36)));
+    bundles.back().workload->Setup(*bundles.back().jvm);
+  }
+
+  const unsigned iterations = config.iterations != 0
+                                  ? config.iterations
+                                  : bundles.front().workload->default_iterations();
+  // Interleave iterations round-robin, approximating concurrent execution.
+  for (unsigned i = 0; i < iterations; ++i) {
+    for (auto& bundle : bundles) bundle.workload->Iterate(*bundle.jvm);
+  }
+
+  std::vector<RunResult> results;
+  results.reserve(num_jvms);
+  for (auto& bundle : bundles) {
+    results.push_back(Harvest(config, machine, bundle, iterations));
+  }
+  return results;
+}
+
+}  // namespace svagc::workloads

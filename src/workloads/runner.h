@@ -1,0 +1,80 @@
+// Experiment runner: wires a workload, a collector and a simulated machine
+// together, runs it, and reports the quantities the paper's figures plot.
+// Shared by all benches and the integration tests.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/svagc_collector.h"
+#include "simkernel/cost_model.h"
+#include "simkernel/trace.h"
+#include "workloads/workload.h"
+
+namespace svagc::workloads {
+
+enum class CollectorKind {
+  kSvagc,          // full SVAGC: SwapVA + aggregation + PMD cache + pinning
+  kSvagcNoSwap,    // SVAGC layout but memmove-only (Fig. 11 left bars)
+  kSvagcNaiveTlb,  // SwapVA with per-call global shootdowns (Fig. 9 naive)
+  kParallelGc,     // ParallelGC-like baseline
+  kShenandoah,     // Shenandoah-like baseline
+  kSerialLisp2,    // serial LISP2 prototype (Fig. 1)
+};
+
+const char* CollectorKindName(CollectorKind kind);
+
+struct RunConfig {
+  std::string workload;
+  CollectorKind collector = CollectorKind::kSvagc;
+  double heap_factor = 1.2;  // x minimum heap (paper: 1.2x and 2x)
+  // HotSpot picks ~5/8 of the cores for ParallelGCThreads on big machines;
+  // 16 on the 32-core testbed. The multi-JVM experiments override this to 4
+  // per JVM as the paper does (Fig. 2 caption: GCThreadsCount = 4).
+  unsigned gc_threads = 16;
+  unsigned iterations = 0;   // 0 = workload default
+  unsigned machine_cores = 32;
+  std::uint64_t swap_threshold_pages = 10;
+  const sim::CostProfile* profile = nullptr;  // default: Xeon Gold 6130
+  sim::MemTraceSink* trace = nullptr;         // Table III cache/DTLB sink
+  bool verify_heap = false;  // run the full heap verifier after the run
+};
+
+struct RunResult {
+  WorkloadInfo info;
+  std::string collector_name;
+  unsigned iterations = 0;
+
+  std::uint64_t gc_count = 0;
+  double gc_total_cycles = 0;
+  double gc_avg_cycles = 0;
+  double gc_max_cycles = 0;
+  rt::GcCycleRecord phase_sum;  // per-phase totals across all cycles
+
+  double mutator_cycles = 0;
+  double disturbance_cycles = 0;  // IPIs landing on this JVM's core
+  double app_cycles = 0;          // mutator + pauses + disturbance
+
+  // Operations per second of modeled time (iterations / app seconds).
+  double throughput_ops = 0;
+
+  std::uint64_t bytes_copied = 0;
+  std::uint64_t bytes_swapped = 0;
+  std::uint64_t swap_calls = 0;
+  std::uint64_t ipis_sent = 0;
+  std::uint64_t heap_bytes = 0;
+  std::uint64_t alignment_waste_bytes = 0;  // paper bound: < 5% of heap
+  std::uint64_t physical_bytes_written = 0;  // NVM-wear proxy (section VI)
+};
+
+// Single-JVM experiment on a fresh machine.
+RunResult RunWorkload(const RunConfig& config);
+
+// Multi-JVM experiment (Figs. 2 and 14): `num_jvms` JVMs of the same
+// workload/collector run interleaved on one machine; JVM j's mutator is
+// pinned to core j and its GC workers to cores [j*gc_threads, ...). Returns
+// one result per JVM.
+std::vector<RunResult> RunMultiJvm(const RunConfig& config, unsigned num_jvms);
+
+}  // namespace svagc::workloads

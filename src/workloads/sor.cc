@@ -1,0 +1,76 @@
+// SOR.large (successive over-relaxation, SPECjvm2008) and the paper's
+// custom "SOR.large x10" (ten times the default input size).
+//
+// Profile: a dense grid held as row-band objects, swept repeatedly; bands
+// are periodically reallocated when the grid is re-tiled.
+#include "workloads/churn_base.h"
+#include "workloads/factories.h"
+
+namespace svagc::workloads {
+
+namespace {
+
+class SorWorkload final : public TableWorkload {
+ public:
+  SorWorkload(const char* name, const char* display, unsigned bands,
+              std::uint64_t band_bytes, unsigned threads)
+      : TableWorkload(WorkloadInfo{
+            .name = name,
+            .display_name = display,
+            .suite = "SPECjvm2008",
+            .logical_threads = threads,
+            .min_heap_bytes = (bands + 2) * band_bytes * 5 / 4,
+            .avg_object_bytes = band_bytes,
+        }),
+        num_bands_(bands),
+        band_bytes_(band_bytes) {}
+
+  void Setup(rt::Jvm& jvm) override {
+    table_ = jvm.roots().Add(AllocRefTable(jvm, num_bands_, 0));
+    for (unsigned i = 0; i < num_bands_; ++i) {
+      const rt::vaddr_t band =
+          AllocDataArray(jvm, band_bytes_, NextThread(jvm));
+      jvm.View(jvm.roots().Get(table_)).set_ref(i, band);
+    }
+  }
+
+  void Iterate(rt::Jvm& jvm) override {
+    // One red-black relaxation sweep: each band reads its neighbours and
+    // rewrites itself.
+    {
+      rt::ObjectView table = jvm.View(jvm.roots().Get(table_));
+      for (unsigned i = 1; i + 1 < num_bands_; ++i) {
+        const unsigned t = NextThread(jvm);
+        StreamOverObject(jvm, t, table.ref(i - 1), 0.1, false);
+        StreamOverObject(jvm, t, table.ref(i + 1), 0.1, false);
+        StreamOverObject(jvm, t, table.ref(i), 0.3, true);
+      }
+    }
+    // Re-tiling epoch: a few bands are reallocated.
+    const unsigned replace = std::max(1u, num_bands_ / 12);
+    for (unsigned r = 0; r < replace; ++r) {
+      const unsigned t = NextThread(jvm);
+      const unsigned i = static_cast<unsigned>(rng_.NextBelow(num_bands_));
+      const rt::vaddr_t band = AllocDataArray(jvm, band_bytes_, t);
+      jvm.View(jvm.roots().Get(table_)).set_ref(i, band);
+      StreamOverObject(jvm, t, band, 0.3, true);
+    }
+  }
+
+ private:
+  unsigned num_bands_;
+  std::uint64_t band_bytes_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> MakeSorLarge() {
+  return std::make_unique<SorWorkload>("sor.large", "SOR.large", 64, 32 * 1024,
+                                       2);
+}
+std::unique_ptr<Workload> MakeSorLargeX10() {
+  return std::make_unique<SorWorkload>("sor.large.x10", "SOR.large x10", 160,
+                                       128 * 1024, 2);
+}
+
+}  // namespace svagc::workloads

@@ -1,0 +1,30 @@
+#include "workloads/workload.h"
+
+namespace svagc::workloads {
+
+rt::vaddr_t AllocDataArray(rt::Jvm& jvm, std::uint64_t data_bytes,
+                           unsigned logical_thread) {
+  return jvm.New(kTypeDataArray, /*num_refs=*/0, data_bytes, logical_thread);
+}
+
+rt::vaddr_t AllocRefTable(rt::Jvm& jvm, std::uint32_t num_refs,
+                          unsigned logical_thread) {
+  return jvm.New(kTypeRefTable, num_refs, /*data_bytes=*/0, logical_thread);
+}
+
+void StreamOverObject(rt::Jvm& jvm, unsigned logical_thread, rt::vaddr_t obj,
+                      double cycles_per_byte, bool write) {
+  rt::ObjectView view(jvm.address_space(), obj);
+  // Stale-reference canary: a vaddr held across an allocation that triggered
+  // a GC points at reclaimed space whose "header" is garbage. Catch the
+  // workload bug here instead of charging 2^60 cycles.
+  SVAGC_CHECK(view.size() >= rt::kMinObjectBytes &&
+              view.size() <= jvm.heap().capacity());
+  const std::uint64_t data_bytes = view.data_words() * 8;
+  if (data_bytes == 0) return;
+  jvm.address_space().StreamTouch(jvm.mutator(logical_thread).cpu,
+                                  view.data_base(), data_bytes,
+                                  cycles_per_byte, write);
+}
+
+}  // namespace svagc::workloads

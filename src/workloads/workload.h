@@ -1,0 +1,92 @@
+// Workload framework: synthetic equivalents of the paper's Table II
+// benchmarks (SPECjvm2008, JOlden, OpenJDK, Spark-bench, LRU cache).
+//
+// What matters for GC behaviour — and therefore for reproducing the
+// evaluation — is object demographics: how many objects, how big, how much
+// survives, how references are structured, and how allocation interleaves
+// with computation. Each workload here reproduces its benchmark's published
+// memory profile (sizes follow Lengauer et al.'s SPECjvm2008 study, which
+// the paper cites) and performs a scaled version of the eponymous
+// computation on managed data via modeled streaming passes.
+//
+// Scaling: the paper runs 3-86 GiB heaps; this harness scales live sets to
+// tens of MiB per JVM while *keeping per-object sizes realistic* (64 KiB FFT
+// chunks, 50 KiB sparse rows blocks, MiB-scale Sigverify buffers) — object
+// size is the variable SwapVA's benefit depends on, object count is not.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/heap_verifier.h"
+#include "runtime/jvm.h"
+#include "support/rng.h"
+
+namespace svagc::workloads {
+
+// Object type ids (diagnostic only).
+inline constexpr std::uint32_t kTypeDataArray = 1;
+inline constexpr std::uint32_t kTypeRefTable = 2;
+inline constexpr std::uint32_t kTypeNode = 3;
+
+struct WorkloadInfo {
+  std::string name;          // registry key, e.g. "sparse.large/4"
+  std::string display_name;  // paper's label, e.g. "Sparse.large/4"
+  std::string suite;         // SPECjvm2008 / JOlden / OpenJDK / Spark / -
+  unsigned logical_threads = 1;    // Table II thread count, scaled /16
+  std::uint64_t min_heap_bytes = 0;  // minimum heap that completes the run
+  std::uint64_t avg_object_bytes = 0;  // headline object size
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual const WorkloadInfo& info() const = 0;
+
+  // Builds the initial live structures, rooted in jvm.roots().
+  virtual void Setup(rt::Jvm& jvm) = 0;
+
+  // One operation unit: some allocation churn plus the kernel's computation.
+  // Implementations rotate across the JVM's logical threads themselves.
+  virtual void Iterate(rt::Jvm& jvm) = 0;
+
+  // Default number of iterations for a "full run" in the benches.
+  virtual unsigned default_iterations() const { return 60; }
+};
+
+// --- shared building blocks -------------------------------------------------
+
+// Allocates a raw data array object of `data_bytes` (no references).
+rt::vaddr_t AllocDataArray(rt::Jvm& jvm, std::uint64_t data_bytes,
+                           unsigned logical_thread);
+
+// Allocates a table object whose payload is `num_refs` reference slots.
+rt::vaddr_t AllocRefTable(rt::Jvm& jvm, std::uint32_t num_refs,
+                          unsigned logical_thread);
+
+// Streams over an object's data payload with the given intensity,
+// charging mutator compute and probing the TLB (page granularity).
+void StreamOverObject(rt::Jvm& jvm, unsigned logical_thread, rt::vaddr_t obj,
+                      double cycles_per_byte, bool write);
+
+// --- registry ---------------------------------------------------------------
+
+using WorkloadFactory = std::unique_ptr<Workload> (*)();
+
+// All registered workload names, in Table II order (variants after their
+// parent benchmark).
+std::vector<std::string> WorkloadNames();
+
+// nullptr when the name is unknown.
+std::unique_ptr<Workload> MakeWorkload(const std::string& name);
+
+// The Table II row set (one entry per benchmark, default variants).
+std::vector<std::string> TableIIWorkloads();
+
+// The Fig. 11 / Fig. 15 / Table III row set (includes size variants).
+std::vector<std::string> EvaluationWorkloads();
+
+}  // namespace svagc::workloads

@@ -1,0 +1,217 @@
+// Property-based sweeps over the invariants that hold for *any* input:
+// page-table map/unmap sequences, SwapVA alignment preconditions, minor
+// evacuation across size spectra, TLB flush-vs-lookup races, and
+// multi-JVM determinism.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+
+#include "core/minor_copy.h"
+#include "simkernel/swapva.h"
+#include "support/rng.h"
+#include "tests/test_util.h"
+#include "workloads/runner.h"
+
+namespace svagc {
+namespace {
+
+using svagc::testing::SimBundle;
+
+// Randomized map/unmap sequences against a host-side reference map: the
+// radix tree must agree with a std::map at every step.
+TEST(PageTableProperty, RandomMapUnmapMatchesReference) {
+  sim::PageTable table;
+  std::map<std::uint64_t, sim::frame_t> reference;
+  Rng rng(31);
+  sim::frame_t next_frame = 1;
+  for (int step = 0; step < 20000; ++step) {
+    // Bias vpns toward level boundaries where index-arithmetic bugs live.
+    std::uint64_t vpn = rng.NextBelow(1ULL << 20);
+    if (rng.NextBelow(4) == 0) {
+      vpn = (vpn & ~511ULL) + (rng.NextBelow(2) ? 511 : 0);
+    }
+    const bool mapped = reference.count(vpn) != 0;
+    if (!mapped && rng.NextBelow(3) != 0) {
+      table.Map(vpn, next_frame);
+      reference[vpn] = next_frame++;
+    } else if (mapped && rng.NextBelow(2) == 0) {
+      EXPECT_EQ(table.Unmap(vpn), reference[vpn]);
+      reference.erase(vpn);
+    }
+    const auto lookup = table.Lookup(vpn);
+    if (reference.count(vpn)) {
+      ASSERT_TRUE(lookup.has_value());
+      ASSERT_EQ(*lookup, reference[vpn]);
+    } else {
+      ASSERT_FALSE(lookup.has_value());
+    }
+  }
+  EXPECT_EQ(table.mapped_pages(), reference.size());
+}
+
+// Unaligned addresses violate SwapVA's contract and must abort loudly
+// rather than corrupt PTEs.
+TEST(SwapVaDeathTest, RejectsUnalignedAddresses) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ASSERT_DEATH(
+      {
+        SimBundle sim(1);
+        sim::AddressSpace as(sim.machine, sim.phys);
+        as.MapRange(1ULL << 32, 16 * sim::kPageSize);
+        sim::CpuContext ctx(sim.machine, 0);
+        sim.kernel.SysSwapVa(as, ctx, (1ULL << 32) + 8,
+                             (1ULL << 32) + 8 * sim::kPageSize, 2,
+                             sim::SwapVaOptions{});
+      },
+      "CHECK failed");
+}
+
+// Swapping an unmapped page must abort (present-bit check in Algorithm 1).
+TEST(SwapVaDeathTest, RejectsUnmappedPages) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ASSERT_DEATH(
+      {
+        SimBundle sim(1);
+        sim::AddressSpace as(sim.machine, sim.phys);
+        as.MapRange(1ULL << 32, 4 * sim::kPageSize);
+        sim::CpuContext ctx(sim.machine, 0);
+        sim.kernel.SysSwapVa(as, ctx, 1ULL << 32, (1ULL << 32) + (1ULL << 30),
+                             1, sim::SwapVaOptions{});
+      },
+      "");
+}
+
+// Minor evacuation across the size spectrum: every size must survive a
+// round trip, with swaps engaged exactly at and above the threshold.
+class EvacuationSizeSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EvacuationSizeSweep, RoundTripsAnyObjectSize) {
+  const std::uint64_t data_bytes = GetParam();
+  SimBundle sim(2, 512ULL << 20);
+  rt::JvmConfig config;
+  config.heap.capacity = 96ULL << 20;
+  rt::Jvm jvm(sim.machine, sim.phys, sim.kernel, config);
+  const rt::vaddr_t to_space = jvm.heap().end() + (1ULL << 24);
+  jvm.address_space().MapRange(to_space, 64ULL << 20);
+
+  std::vector<rt::vaddr_t> survivors;
+  for (int i = 0; i < 4; ++i) {
+    const rt::vaddr_t obj = jvm.New(1, 0, data_bytes);
+    rt::ObjectView view = jvm.View(obj);
+    for (std::uint64_t w = 0; w < view.data_words(); w += 7) {
+      view.set_data_word(w, w * 31 + i);
+    }
+    survivors.push_back(obj);
+  }
+  core::MoveObjectConfig move_config;
+  core::MinorEvacuator evacuator(jvm, move_config);
+  sim::CpuContext ctx(sim.machine, 0);
+  const auto result = evacuator.Evacuate(
+      survivors, to_space, core::EvacuationMode::kMinorBatch, ctx);
+  int i = 0;
+  for (const auto& [src, dst] : result.relocations) {
+    rt::ObjectView view = jvm.View(dst);
+    ASSERT_EQ(view.size(), rt::ObjectBytes(0, data_bytes));
+    for (std::uint64_t w = 0; w < view.data_words(); w += 7) {
+      ASSERT_EQ(view.data_word(w), w * 31 + i) << "size " << data_bytes;
+    }
+    ++i;
+  }
+  const std::uint64_t object_bytes = rt::ObjectBytes(0, data_bytes);
+  const bool expect_swapped =
+      object_bytes >= move_config.threshold_pages * sim::kPageSize;
+  EXPECT_EQ(evacuator.stats().objects_swapped, expect_swapped ? 4u : 0u)
+      << data_bytes;
+  jvm.address_space().UnmapRange(to_space, 64ULL << 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, EvacuationSizeSweep,
+    ::testing::Values(8, 256, 4072,                    // sub-page
+                      9 * sim::kPageSize,              // just below threshold
+                      10 * sim::kPageSize,             // at threshold (incl. header)
+                      11 * sim::kPageSize - 24,        // exactly threshold pages
+                      64 * sim::kPageSize, (4ULL << 20)));
+
+// TLB lookups racing remote flushes never return stale frames for entries
+// that were flushed before the lookup began (linearizability smoke).
+TEST(TlbProperty, ConcurrentFlushAndLookupAreSafe) {
+  sim::Tlb tlb(64, 4);
+  std::atomic<bool> stop{false};
+  std::thread flusher([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      tlb.FlushAsid(1);
+    }
+  });
+  Rng rng(5);
+  for (int i = 0; i < 200000; ++i) {
+    const std::uint64_t vpn = rng.NextBelow(128);
+    tlb.Insert(1, vpn, vpn + 1000);
+    const auto result = tlb.Lookup(1, vpn);
+    if (result.hit) {
+      ASSERT_EQ(result.frame, vpn + 1000);  // never someone else's frame
+    }
+  }
+  stop.store(true);
+  flusher.join();
+}
+
+// The multi-JVM runner is deterministic and its per-JVM results are
+// self-consistent across repetitions.
+TEST(MultiJvmProperty, DeterministicAcrossRepetitions) {
+  workloads::RunConfig config;
+  config.workload = "lrucache";
+  config.iterations = 8;
+  config.gc_threads = 4;
+  const auto a = workloads::RunMultiJvm(config, 4);
+  const auto b = workloads::RunMultiJvm(config, 4);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].mutator_cycles, b[i].mutator_cycles) << i;
+    EXPECT_EQ(a[i].gc_count, b[i].gc_count) << i;
+    EXPECT_DOUBLE_EQ(a[i].gc_total_cycles, b[i].gc_total_cycles) << i;
+  }
+}
+
+// Aggregation is cost-transparent: batched and separated swaps leave
+// byte-identical address spaces for any request pattern.
+TEST(SwapVaProperty, AggregationIsSemanticallyTransparent) {
+  Rng rng(17);
+  for (int trial = 0; trial < 40; ++trial) {
+    SimBundle sep_sim(2), vec_sim(2);
+    sim::AddressSpace sep_as(sep_sim.machine, sep_sim.phys);
+    sim::AddressSpace vec_as(vec_sim.machine, vec_sim.phys);
+    constexpr std::uint64_t kPages = 96;
+    const sim::vaddr_t base = 1ULL << 32;
+    sep_as.MapRange(base, kPages * sim::kPageSize);
+    vec_as.MapRange(base, kPages * sim::kPageSize);
+    for (std::uint64_t i = 0; i < kPages; ++i) {
+      sep_as.WriteWord(base + i * sim::kPageSize, 900 + i);
+      vec_as.WriteWord(base + i * sim::kPageSize, 900 + i);
+    }
+    std::vector<sim::SwapRequest> requests;
+    for (int r = 0; r < 6; ++r) {
+      const std::uint64_t pages = 1 + rng.NextBelow(8);
+      const std::uint64_t a = rng.NextBelow(kPages - pages);
+      const std::uint64_t b = rng.NextBelow(kPages - pages);
+      requests.push_back({base + a * sim::kPageSize, base + b * sim::kPageSize,
+                          pages});
+    }
+    sim::CpuContext sep_ctx(sep_sim.machine, 0), vec_ctx(vec_sim.machine, 0);
+    for (const auto& req : requests) {
+      sep_sim.kernel.SysSwapVa(sep_as, sep_ctx, req.a, req.b, req.pages,
+                               sim::SwapVaOptions{});
+    }
+    vec_sim.kernel.SysSwapVaVec(vec_as, vec_ctx, requests,
+                                sim::SwapVaOptions{});
+    for (std::uint64_t i = 0; i < kPages; ++i) {
+      ASSERT_EQ(sep_as.ReadWord(base + i * sim::kPageSize),
+                vec_as.ReadWord(base + i * sim::kPageSize))
+          << "trial " << trial << " page " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace svagc

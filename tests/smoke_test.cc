@@ -1,0 +1,30 @@
+// End-to-end smoke: every collector runs a real workload to completion with
+// a verified heap. The detailed per-module suites live alongside this file.
+#include <gtest/gtest.h>
+
+#include "workloads/runner.h"
+
+namespace svagc::workloads {
+namespace {
+
+class SmokeTest : public ::testing::TestWithParam<CollectorKind> {};
+
+TEST_P(SmokeTest, SparseRunsAndVerifies) {
+  RunConfig config;
+  config.workload = "sparse.large/4";
+  config.collector = GetParam();
+  config.iterations = 12;
+  config.verify_heap = true;
+  const RunResult result = RunWorkload(config);
+  EXPECT_GT(result.gc_count, 0u) << "heap sized to force collections";
+  EXPECT_GT(result.app_cycles, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCollectors, SmokeTest,
+    ::testing::Values(CollectorKind::kSvagc, CollectorKind::kSvagcNoSwap,
+                      CollectorKind::kSvagcNaiveTlb, CollectorKind::kParallelGc,
+                      CollectorKind::kShenandoah, CollectorKind::kSerialLisp2));
+
+}  // namespace
+}  // namespace svagc::workloads

@@ -1,0 +1,324 @@
+// Tests for the SwapVA system call: Algorithm 1 (disjoint PTE exchange),
+// Algorithm 2 (gcd-cycle overlap rotation), aggregation, the internal
+// optimizations, and the TLB-coherence policies.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "simkernel/swapva.h"
+#include "support/rng.h"
+
+namespace svagc::sim {
+namespace {
+
+constexpr vaddr_t kBase = 1ULL << 33;
+
+class SwapVaTest : public ::testing::Test {
+ protected:
+  SwapVaTest() { as_.MapRange(kBase, kSpanPages * kPageSize); }
+
+  static constexpr std::uint64_t kSpanPages = 512;
+
+  // Writes a recognizable stamp into every word of page `index`.
+  void StampPage(std::uint64_t index, std::uint64_t stamp) {
+    for (std::uint64_t off = 0; off < kPageSize; off += 8) {
+      as_.WriteWord(kBase + index * kPageSize + off, stamp ^ off);
+    }
+  }
+  bool PageHasStamp(std::uint64_t index, std::uint64_t stamp) {
+    for (std::uint64_t off = 0; off < kPageSize; off += 8) {
+      if (as_.ReadWord(kBase + index * kPageSize + off) != (stamp ^ off)) {
+        return false;
+      }
+    }
+    return true;
+  }
+  vaddr_t PageAddr(std::uint64_t index) { return kBase + index * kPageSize; }
+
+  Machine machine_{8, ProfileXeonGold6130()};
+  Kernel kernel_{machine_};
+  PhysicalMemory phys_{(kSpanPages + 64) * kPageSize};
+  AddressSpace as_{machine_, phys_};
+  CpuContext ctx_{machine_, 0};
+  SwapVaOptions opts_{};
+};
+
+// --- disjoint swaps (Algorithm 1) -------------------------------------------
+
+TEST_F(SwapVaTest, SwapsDisjointRanges) {
+  for (std::uint64_t i = 0; i < 4; ++i) StampPage(i, 0x1000 + i);
+  for (std::uint64_t i = 0; i < 4; ++i) StampPage(100 + i, 0x2000 + i);
+  kernel_.SysSwapVa(as_, ctx_, PageAddr(0), PageAddr(100), 4, opts_);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(PageHasStamp(i, 0x2000 + i)) << i;
+    EXPECT_TRUE(PageHasStamp(100 + i, 0x1000 + i)) << i;
+  }
+}
+
+TEST_F(SwapVaTest, SwapIsItsOwnInverse) {
+  StampPage(0, 1);
+  StampPage(50, 2);
+  kernel_.SysSwapVa(as_, ctx_, PageAddr(0), PageAddr(50), 1, opts_);
+  kernel_.SysSwapVa(as_, ctx_, PageAddr(0), PageAddr(50), 1, opts_);
+  EXPECT_TRUE(PageHasStamp(0, 1));
+  EXPECT_TRUE(PageHasStamp(50, 2));
+}
+
+TEST_F(SwapVaTest, ZeroPagesAndSelfSwapAreNoOps) {
+  StampPage(0, 7);
+  kernel_.SysSwapVa(as_, ctx_, PageAddr(0), PageAddr(10), 0, opts_);
+  kernel_.SysSwapVa(as_, ctx_, PageAddr(0), PageAddr(0), 3, opts_);
+  EXPECT_TRUE(PageHasStamp(0, 7));
+}
+
+TEST_F(SwapVaTest, AdjacentRangesSameLeafDoNotDeadlock) {
+  // Both PTEs live in the same leaf table -> one split-PTL; the pair-locking
+  // path must detect that instead of self-deadlocking.
+  StampPage(10, 1);
+  StampPage(11, 2);
+  kernel_.SysSwapVa(as_, ctx_, PageAddr(10), PageAddr(11), 1, opts_);
+  EXPECT_TRUE(PageHasStamp(10, 2));
+  EXPECT_TRUE(PageHasStamp(11, 1));
+}
+
+TEST_F(SwapVaTest, NoBytesAreCopied) {
+  StampPage(0, 1);
+  StampPage(200, 2);
+  const std::byte* frame_before = as_.RawPtr(PageAddr(0));
+  kernel_.SysSwapVa(as_, ctx_, PageAddr(0), PageAddr(200), 1, opts_);
+  // The virtual page now resolves to the *other* physical frame: data moved
+  // by remapping, not by copying.
+  EXPECT_EQ(as_.RawPtr(PageAddr(200)), frame_before);
+  EXPECT_DOUBLE_EQ(ctx_.account.ByKind(CostKind::kCopy), 0.0);
+}
+
+// --- overlap rotation (Algorithm 2) ------------------------------------------
+
+// Property: for any (pages, delta) with delta < pages, swapping
+// [lo, lo+pages) with [lo+delta, lo+delta+pages) realizes the rotation
+// new[j] = old[(j + delta) mod (pages + delta)] over the combined span; in
+// particular the destination range receives exactly the old source range —
+// the overlapping-move semantics GC compaction requires.
+struct OverlapCase {
+  std::uint64_t pages;
+  std::uint64_t delta;
+};
+
+class SwapVaOverlap : public ::testing::TestWithParam<OverlapCase> {};
+
+TEST_P(SwapVaOverlap, RotationProperty) {
+  const auto [pages, delta] = GetParam();
+  ASSERT_LT(delta, pages);
+  Machine machine(2, ProfileXeonGold6130());
+  Kernel kernel(machine);
+  PhysicalMemory phys((pages + delta + 8) * kPageSize);
+  AddressSpace as(machine, phys);
+  const std::uint64_t span = pages + delta;
+  as.MapRange(kBase, span * kPageSize);
+  for (std::uint64_t i = 0; i < span; ++i) {
+    as.WriteWord(kBase + i * kPageSize, 0xAB00 + i);
+  }
+  CpuContext ctx(machine, 0);
+  kernel.SysSwapVa(as, ctx, kBase, kBase + delta * kPageSize, pages,
+                   SwapVaOptions{});
+  for (std::uint64_t j = 0; j < span; ++j) {
+    EXPECT_EQ(as.ReadWord(kBase + j * kPageSize), 0xAB00 + (j + delta) % span)
+        << "j=" << j << " pages=" << pages << " delta=" << delta;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GcdCycleShapes, SwapVaOverlap,
+    ::testing::Values(OverlapCase{2, 1}, OverlapCase{3, 1}, OverlapCase{4, 2},
+                      OverlapCase{6, 4}, OverlapCase{8, 6}, OverlapCase{9, 3},
+                      OverlapCase{16, 1}, OverlapCase{16, 15},
+                      OverlapCase{12, 8}, OverlapCase{25, 10},
+                      OverlapCase{64, 48}, OverlapCase{100, 60}));
+
+TEST_F(SwapVaTest, OverlapTouchesPagesPlusDelta) {
+  const auto before = kernel_.pages_swapped();
+  kernel_.SysSwapVa(as_, ctx_, PageAddr(0), PageAddr(6), 10, opts_);
+  // O(n + delta): 10 + 6 pages visited, not 2*10.
+  EXPECT_EQ(kernel_.pages_swapped() - before, 16u);
+}
+
+TEST_F(SwapVaTest, OverlapMoveUsableAsGcMove) {
+  // MoveObject(source, dest) with dest < source and overlap: dest range must
+  // receive the old source content exactly.
+  constexpr std::uint64_t kPages = 12;
+  constexpr std::uint64_t kDelta = 5;
+  for (std::uint64_t i = 0; i < kPages; ++i) StampPage(kDelta + i, 0x9000 + i);
+  kernel_.SysSwapVa(as_, ctx_, PageAddr(0), PageAddr(kDelta), kPages, opts_);
+  for (std::uint64_t i = 0; i < kPages; ++i) {
+    EXPECT_TRUE(PageHasStamp(i, 0x9000 + i)) << i;
+  }
+}
+
+// --- aggregation -------------------------------------------------------------
+
+TEST_F(SwapVaTest, VectoredCallMatchesSeparatedResults) {
+  for (std::uint64_t i = 0; i < 6; ++i) StampPage(i, 0x100 + i);
+  for (std::uint64_t i = 0; i < 6; ++i) StampPage(300 + i, 0x200 + i);
+  std::vector<SwapRequest> requests;
+  for (std::uint64_t i = 0; i < 6; i += 2) {
+    requests.push_back({PageAddr(i), PageAddr(300 + i), 2});
+  }
+  kernel_.SysSwapVaVec(as_, ctx_, requests, opts_);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    EXPECT_TRUE(PageHasStamp(i, 0x200 + i));
+    EXPECT_TRUE(PageHasStamp(300 + i, 0x100 + i));
+  }
+}
+
+TEST_F(SwapVaTest, AggregationChargesOneSyscall) {
+  std::vector<SwapRequest> requests;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    requests.push_back({PageAddr(2 * i), PageAddr(200 + 2 * i), 1});
+  }
+  CpuContext vec_ctx(machine_, 0);
+  kernel_.SysSwapVaVec(as_, vec_ctx, requests, opts_);
+  EXPECT_DOUBLE_EQ(vec_ctx.account.ByKind(CostKind::kSyscall),
+                   machine_.cost().syscall_entry);
+
+  CpuContext sep_ctx(machine_, 0);
+  for (const auto& req : requests) {
+    kernel_.SysSwapVa(as_, sep_ctx, req.a, req.b, req.pages, opts_);
+  }
+  EXPECT_DOUBLE_EQ(sep_ctx.account.ByKind(CostKind::kSyscall),
+                   8 * machine_.cost().syscall_entry);
+  EXPECT_LT(vec_ctx.account.total(), sep_ctx.account.total());
+}
+
+TEST_F(SwapVaTest, EmptyVectorChargesOnlyEntry) {
+  CpuContext ctx(machine_, 0);
+  kernel_.SysSwapVaVec(as_, ctx, {}, opts_);
+  EXPECT_DOUBLE_EQ(ctx.account.total(), machine_.cost().syscall_entry);
+}
+
+// --- optimizations & cost structure ------------------------------------------
+
+TEST_F(SwapVaTest, PmdCachingIsCheaperForMultiPage) {
+  SwapVaOptions cached = opts_;
+  SwapVaOptions uncached = opts_;
+  uncached.pmd_caching = false;
+  CpuContext with_cache(machine_, 0), without(machine_, 0);
+  kernel_.SysSwapVa(as_, with_cache, PageAddr(0), PageAddr(128), 64, cached);
+  kernel_.SysSwapVa(as_, without, PageAddr(0), PageAddr(128), 64, uncached);
+  EXPECT_LT(with_cache.account.ByKind(CostKind::kPageWalk),
+            without.account.ByKind(CostKind::kPageWalk));
+}
+
+TEST_F(SwapVaTest, CostIsLinearInPages) {
+  SwapVaOptions local = opts_;
+  local.tlb_policy = TlbPolicy::kLocalOnly;  // exclude per-call IPI fan-out
+  CpuContext small(machine_, 0), large(machine_, 0);
+  kernel_.SysSwapVa(as_, small, PageAddr(0), PageAddr(128), 10, local);
+  kernel_.SysSwapVa(as_, large, PageAddr(0), PageAddr(128), 100, local);
+  const double fixed = machine_.cost().syscall_entry +
+                       machine_.cost().tlb_flush_local;
+  const double per_page_small = (small.account.total() - fixed) / 10;
+  const double per_page_large = (large.account.total() - fixed) / 100;
+  EXPECT_NEAR(per_page_small, per_page_large, per_page_small * 0.25);
+}
+
+// --- TLB coherence policies ---------------------------------------------------
+
+TEST_F(SwapVaTest, GlobalPolicyShootsDownOtherCores) {
+  machine_.ResetCounters();
+  SwapVaOptions global = opts_;
+  global.tlb_policy = TlbPolicy::kGlobalPerCall;
+  kernel_.SysSwapVa(as_, ctx_, PageAddr(0), PageAddr(100), 2, global);
+  EXPECT_EQ(machine_.TotalIpisSent(), machine_.num_cores() - 1);
+}
+
+TEST_F(SwapVaTest, LocalPolicySendsNoIpis) {
+  machine_.ResetCounters();
+  SwapVaOptions local = opts_;
+  local.tlb_policy = TlbPolicy::kLocalOnly;
+  kernel_.SysSwapVa(as_, ctx_, PageAddr(0), PageAddr(100), 2, local);
+  EXPECT_EQ(machine_.TotalIpisSent(), 0u);
+}
+
+TEST_F(SwapVaTest, LocalTlbIsFlushedAfterSwap) {
+  // Warm the local TLB with the pre-swap translation, swap, then verify the
+  // hardware path re-walks and sees the *new* frame (the DCHECK inside
+  // HwPtr would abort on a stale hit).
+  StampPage(0, 1);
+  StampPage(9, 2);
+  (void)as_.HwPtr(ctx_, PageAddr(0));
+  (void)as_.HwPtr(ctx_, PageAddr(9));
+  SwapVaOptions local = opts_;
+  local.tlb_policy = TlbPolicy::kLocalOnly;
+  kernel_.SysSwapVa(as_, ctx_, PageAddr(0), PageAddr(9), 1, local);
+  const std::byte* p0 = as_.HwPtr(ctx_, PageAddr(0));
+  EXPECT_EQ(p0, as_.RawPtr(PageAddr(0)));
+  EXPECT_EQ(as_.ReadWord(PageAddr(0)), 2 ^ 0u);
+}
+
+TEST_F(SwapVaTest, FlushProcessTlbsClearsEveryCore) {
+  for (unsigned core = 0; core < machine_.num_cores(); ++core) {
+    machine_.tlb(core).Insert(as_.asid(), 1, 1);
+  }
+  kernel_.SysFlushProcessTlbs(as_, ctx_);
+  for (unsigned core = 0; core < machine_.num_cores(); ++core) {
+    EXPECT_FALSE(machine_.tlb(core).Lookup(as_.asid(), 1).hit) << core;
+  }
+}
+
+TEST_F(SwapVaTest, PinUnpinChargeSyscalls) {
+  CpuContext ctx(machine_, 0);
+  kernel_.SysPin(ctx);
+  kernel_.SysUnpin(ctx);
+  EXPECT_DOUBLE_EQ(ctx.account.ByKind(CostKind::kSyscall),
+                   2 * machine_.cost().syscall_entry);
+}
+
+TEST_F(SwapVaTest, CountersTrackCallsAndPages) {
+  const auto calls = kernel_.swapva_calls();
+  const auto pages = kernel_.pages_swapped();
+  kernel_.SysSwapVa(as_, ctx_, PageAddr(0), PageAddr(100), 5, opts_);
+  EXPECT_EQ(kernel_.swapva_calls(), calls + 1);
+  EXPECT_EQ(kernel_.pages_swapped(), pages + 5);
+}
+
+// Randomized differential test: an arbitrary sequence of swaps/moves must
+// leave the address space exactly like a reference model (a host array
+// manipulated with std::swap_ranges/std::memmove).
+TEST_F(SwapVaTest, RandomizedDifferentialAgainstReferenceModel) {
+  constexpr std::uint64_t kPages = 64;
+  std::vector<std::uint64_t> reference(kPages);
+  for (std::uint64_t i = 0; i < kPages; ++i) {
+    reference[i] = 0x5500 + i;
+    as_.WriteWord(PageAddr(i), reference[i]);
+  }
+  Rng rng(2024);
+  for (int step = 0; step < 300; ++step) {
+    const std::uint64_t pages = rng.NextInRange(1, 16);
+    const std::uint64_t a = rng.NextBelow(kPages - pages);
+    const std::uint64_t b = rng.NextBelow(kPages - pages);
+    kernel_.SysSwapVa(as_, ctx_, PageAddr(a), PageAddr(b), pages, opts_);
+    // Reference semantics: disjoint -> swap; overlapping -> rotation of the
+    // combined span by delta (documented overlap behaviour).
+    const std::uint64_t lo = std::min(a, b), hi = std::max(a, b);
+    if (hi - lo >= pages) {
+      std::swap_ranges(reference.begin() + a, reference.begin() + a + pages,
+                       reference.begin() + b);
+    } else if (lo != hi) {
+      const std::uint64_t delta = hi - lo;
+      const std::uint64_t span = pages + delta;
+      std::vector<std::uint64_t> rotated(span);
+      for (std::uint64_t j = 0; j < span; ++j) {
+        rotated[j] = reference[lo + (j + delta) % span];
+      }
+      std::copy(rotated.begin(), rotated.end(), reference.begin() + lo);
+    }
+    for (std::uint64_t i = 0; i < kPages; ++i) {
+      ASSERT_EQ(as_.ReadWord(PageAddr(i)), reference[i])
+          << "step " << step << " page " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace svagc::sim
