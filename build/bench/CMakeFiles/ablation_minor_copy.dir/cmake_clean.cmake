@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_minor_copy.dir/ablation_minor_copy.cc.o"
+  "CMakeFiles/ablation_minor_copy.dir/ablation_minor_copy.cc.o.d"
+  "ablation_minor_copy"
+  "ablation_minor_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_minor_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nvm_wear.dir/ablation_nvm_wear.cc.o"
+  "CMakeFiles/ablation_nvm_wear.dir/ablation_nvm_wear.cc.o.d"
+  "ablation_nvm_wear"
+  "ablation_nvm_wear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nvm_wear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

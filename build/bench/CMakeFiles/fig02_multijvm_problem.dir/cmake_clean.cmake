@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_multijvm_problem.dir/fig02_multijvm_problem.cc.o"
+  "CMakeFiles/fig02_multijvm_problem.dir/fig02_multijvm_problem.cc.o.d"
+  "fig02_multijvm_problem"
+  "fig02_multijvm_problem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_multijvm_problem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_aggregation.dir/fig06_aggregation.cc.o"
+  "CMakeFiles/fig06_aggregation.dir/fig06_aggregation.cc.o.d"
+  "fig06_aggregation"
+  "fig06_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

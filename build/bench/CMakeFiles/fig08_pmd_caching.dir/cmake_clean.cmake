@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_pmd_caching.dir/fig08_pmd_caching.cc.o"
+  "CMakeFiles/fig08_pmd_caching.dir/fig08_pmd_caching.cc.o.d"
+  "fig08_pmd_caching"
+  "fig08_pmd_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_pmd_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

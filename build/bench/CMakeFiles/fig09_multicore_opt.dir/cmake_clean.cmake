@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_multicore_opt.dir/fig09_multicore_opt.cc.o"
+  "CMakeFiles/fig09_multicore_opt.dir/fig09_multicore_opt.cc.o.d"
+  "fig09_multicore_opt"
+  "fig09_multicore_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_multicore_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_avg_latency.dir/fig12_avg_latency.cc.o"
+  "CMakeFiles/fig12_avg_latency.dir/fig12_avg_latency.cc.o.d"
+  "fig12_avg_latency"
+  "fig12_avg_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_avg_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_max_latency.dir/fig13_max_latency.cc.o"
+  "CMakeFiles/fig13_max_latency.dir/fig13_max_latency.cc.o.d"
+  "fig13_max_latency"
+  "fig13_max_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_max_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

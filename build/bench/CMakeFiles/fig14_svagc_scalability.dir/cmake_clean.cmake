@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_svagc_scalability.dir/fig14_svagc_scalability.cc.o"
+  "CMakeFiles/fig14_svagc_scalability.dir/fig14_svagc_scalability.cc.o.d"
+  "fig14_svagc_scalability"
+  "fig14_svagc_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_svagc_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_throughput_vs_baselines.dir/fig16_throughput_vs_baselines.cc.o"
+  "CMakeFiles/fig16_throughput_vs_baselines.dir/fig16_throughput_vs_baselines.cc.o.d"
+  "fig16_throughput_vs_baselines"
+  "fig16_throughput_vs_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_throughput_vs_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_swapva.dir/micro_swapva.cc.o"
+  "CMakeFiles/micro_swapva.dir/micro_swapva.cc.o.d"
+  "micro_swapva"
+  "micro_swapva.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_swapva.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summary.dir/summary.cc.o"
+  "CMakeFiles/summary.dir/summary.cc.o.d"
+  "summary"
+  "summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

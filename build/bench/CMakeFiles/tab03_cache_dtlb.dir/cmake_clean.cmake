@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_cache_dtlb.dir/tab03_cache_dtlb.cc.o"
+  "CMakeFiles/tab03_cache_dtlb.dir/tab03_cache_dtlb.cc.o.d"
+  "tab03_cache_dtlb"
+  "tab03_cache_dtlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_cache_dtlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

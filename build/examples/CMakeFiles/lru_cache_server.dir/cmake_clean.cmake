@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lru_cache_server.dir/lru_cache_server.cpp.o"
+  "CMakeFiles/lru_cache_server.dir/lru_cache_server.cpp.o.d"
+  "lru_cache_server"
+  "lru_cache_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lru_cache_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_jvm_sim.dir/multi_jvm_sim.cpp.o"
+  "CMakeFiles/multi_jvm_sim.dir/multi_jvm_sim.cpp.o.d"
+  "multi_jvm_sim"
+  "multi_jvm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_jvm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/minor_copy.cc" "src/CMakeFiles/svagc_core.dir/core/minor_copy.cc.o" "gcc" "src/CMakeFiles/svagc_core.dir/core/minor_copy.cc.o.d"
+  "/root/repo/src/core/move_object.cc" "src/CMakeFiles/svagc_core.dir/core/move_object.cc.o" "gcc" "src/CMakeFiles/svagc_core.dir/core/move_object.cc.o.d"
+  "/root/repo/src/core/svagc_collector.cc" "src/CMakeFiles/svagc_core.dir/core/svagc_collector.cc.o" "gcc" "src/CMakeFiles/svagc_core.dir/core/svagc_collector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/svagc_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svagc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svagc_simkernel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

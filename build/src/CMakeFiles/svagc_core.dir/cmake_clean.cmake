@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svagc_core.dir/core/minor_copy.cc.o"
+  "CMakeFiles/svagc_core.dir/core/minor_copy.cc.o.d"
+  "CMakeFiles/svagc_core.dir/core/move_object.cc.o"
+  "CMakeFiles/svagc_core.dir/core/move_object.cc.o.d"
+  "CMakeFiles/svagc_core.dir/core/svagc_collector.cc.o"
+  "CMakeFiles/svagc_core.dir/core/svagc_collector.cc.o.d"
+  "libsvagc_core.a"
+  "libsvagc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svagc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

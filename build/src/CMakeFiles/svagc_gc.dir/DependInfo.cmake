@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gc/applicability.cc" "src/CMakeFiles/svagc_gc.dir/gc/applicability.cc.o" "gcc" "src/CMakeFiles/svagc_gc.dir/gc/applicability.cc.o.d"
+  "/root/repo/src/gc/collector.cc" "src/CMakeFiles/svagc_gc.dir/gc/collector.cc.o" "gcc" "src/CMakeFiles/svagc_gc.dir/gc/collector.cc.o.d"
+  "/root/repo/src/gc/epsilon.cc" "src/CMakeFiles/svagc_gc.dir/gc/epsilon.cc.o" "gcc" "src/CMakeFiles/svagc_gc.dir/gc/epsilon.cc.o.d"
+  "/root/repo/src/gc/forwarding.cc" "src/CMakeFiles/svagc_gc.dir/gc/forwarding.cc.o" "gcc" "src/CMakeFiles/svagc_gc.dir/gc/forwarding.cc.o.d"
+  "/root/repo/src/gc/lisp2.cc" "src/CMakeFiles/svagc_gc.dir/gc/lisp2.cc.o" "gcc" "src/CMakeFiles/svagc_gc.dir/gc/lisp2.cc.o.d"
+  "/root/repo/src/gc/mark.cc" "src/CMakeFiles/svagc_gc.dir/gc/mark.cc.o" "gcc" "src/CMakeFiles/svagc_gc.dir/gc/mark.cc.o.d"
+  "/root/repo/src/gc/parallel_gc.cc" "src/CMakeFiles/svagc_gc.dir/gc/parallel_gc.cc.o" "gcc" "src/CMakeFiles/svagc_gc.dir/gc/parallel_gc.cc.o.d"
+  "/root/repo/src/gc/parallel_lisp2.cc" "src/CMakeFiles/svagc_gc.dir/gc/parallel_lisp2.cc.o" "gcc" "src/CMakeFiles/svagc_gc.dir/gc/parallel_lisp2.cc.o.d"
+  "/root/repo/src/gc/shenandoah_gc.cc" "src/CMakeFiles/svagc_gc.dir/gc/shenandoah_gc.cc.o" "gcc" "src/CMakeFiles/svagc_gc.dir/gc/shenandoah_gc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/svagc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svagc_simkernel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

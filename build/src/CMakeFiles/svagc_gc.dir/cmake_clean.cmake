@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svagc_gc.dir/gc/applicability.cc.o"
+  "CMakeFiles/svagc_gc.dir/gc/applicability.cc.o.d"
+  "CMakeFiles/svagc_gc.dir/gc/collector.cc.o"
+  "CMakeFiles/svagc_gc.dir/gc/collector.cc.o.d"
+  "CMakeFiles/svagc_gc.dir/gc/epsilon.cc.o"
+  "CMakeFiles/svagc_gc.dir/gc/epsilon.cc.o.d"
+  "CMakeFiles/svagc_gc.dir/gc/forwarding.cc.o"
+  "CMakeFiles/svagc_gc.dir/gc/forwarding.cc.o.d"
+  "CMakeFiles/svagc_gc.dir/gc/lisp2.cc.o"
+  "CMakeFiles/svagc_gc.dir/gc/lisp2.cc.o.d"
+  "CMakeFiles/svagc_gc.dir/gc/mark.cc.o"
+  "CMakeFiles/svagc_gc.dir/gc/mark.cc.o.d"
+  "CMakeFiles/svagc_gc.dir/gc/parallel_gc.cc.o"
+  "CMakeFiles/svagc_gc.dir/gc/parallel_gc.cc.o.d"
+  "CMakeFiles/svagc_gc.dir/gc/parallel_lisp2.cc.o"
+  "CMakeFiles/svagc_gc.dir/gc/parallel_lisp2.cc.o.d"
+  "CMakeFiles/svagc_gc.dir/gc/shenandoah_gc.cc.o"
+  "CMakeFiles/svagc_gc.dir/gc/shenandoah_gc.cc.o.d"
+  "libsvagc_gc.a"
+  "libsvagc_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svagc_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

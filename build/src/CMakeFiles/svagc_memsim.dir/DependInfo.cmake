@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memsim/cache.cc" "src/CMakeFiles/svagc_memsim.dir/memsim/cache.cc.o" "gcc" "src/CMakeFiles/svagc_memsim.dir/memsim/cache.cc.o.d"
+  "/root/repo/src/memsim/dtlb.cc" "src/CMakeFiles/svagc_memsim.dir/memsim/dtlb.cc.o" "gcc" "src/CMakeFiles/svagc_memsim.dir/memsim/dtlb.cc.o.d"
+  "/root/repo/src/memsim/hierarchy.cc" "src/CMakeFiles/svagc_memsim.dir/memsim/hierarchy.cc.o" "gcc" "src/CMakeFiles/svagc_memsim.dir/memsim/hierarchy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/svagc_simkernel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

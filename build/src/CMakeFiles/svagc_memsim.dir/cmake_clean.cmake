@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svagc_memsim.dir/memsim/cache.cc.o"
+  "CMakeFiles/svagc_memsim.dir/memsim/cache.cc.o.d"
+  "CMakeFiles/svagc_memsim.dir/memsim/dtlb.cc.o"
+  "CMakeFiles/svagc_memsim.dir/memsim/dtlb.cc.o.d"
+  "CMakeFiles/svagc_memsim.dir/memsim/hierarchy.cc.o"
+  "CMakeFiles/svagc_memsim.dir/memsim/hierarchy.cc.o.d"
+  "libsvagc_memsim.a"
+  "libsvagc_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svagc_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/heap.cc" "src/CMakeFiles/svagc_runtime.dir/runtime/heap.cc.o" "gcc" "src/CMakeFiles/svagc_runtime.dir/runtime/heap.cc.o.d"
+  "/root/repo/src/runtime/heap_verifier.cc" "src/CMakeFiles/svagc_runtime.dir/runtime/heap_verifier.cc.o" "gcc" "src/CMakeFiles/svagc_runtime.dir/runtime/heap_verifier.cc.o.d"
+  "/root/repo/src/runtime/jvm.cc" "src/CMakeFiles/svagc_runtime.dir/runtime/jvm.cc.o" "gcc" "src/CMakeFiles/svagc_runtime.dir/runtime/jvm.cc.o.d"
+  "/root/repo/src/runtime/object.cc" "src/CMakeFiles/svagc_runtime.dir/runtime/object.cc.o" "gcc" "src/CMakeFiles/svagc_runtime.dir/runtime/object.cc.o.d"
+  "/root/repo/src/runtime/tlab.cc" "src/CMakeFiles/svagc_runtime.dir/runtime/tlab.cc.o" "gcc" "src/CMakeFiles/svagc_runtime.dir/runtime/tlab.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/svagc_simkernel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svagc_runtime.dir/runtime/heap.cc.o"
+  "CMakeFiles/svagc_runtime.dir/runtime/heap.cc.o.d"
+  "CMakeFiles/svagc_runtime.dir/runtime/heap_verifier.cc.o"
+  "CMakeFiles/svagc_runtime.dir/runtime/heap_verifier.cc.o.d"
+  "CMakeFiles/svagc_runtime.dir/runtime/jvm.cc.o"
+  "CMakeFiles/svagc_runtime.dir/runtime/jvm.cc.o.d"
+  "CMakeFiles/svagc_runtime.dir/runtime/object.cc.o"
+  "CMakeFiles/svagc_runtime.dir/runtime/object.cc.o.d"
+  "CMakeFiles/svagc_runtime.dir/runtime/tlab.cc.o"
+  "CMakeFiles/svagc_runtime.dir/runtime/tlab.cc.o.d"
+  "libsvagc_runtime.a"
+  "libsvagc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svagc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

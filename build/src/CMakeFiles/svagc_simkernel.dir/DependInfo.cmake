@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simkernel/address_space.cc" "src/CMakeFiles/svagc_simkernel.dir/simkernel/address_space.cc.o" "gcc" "src/CMakeFiles/svagc_simkernel.dir/simkernel/address_space.cc.o.d"
+  "/root/repo/src/simkernel/cost_model.cc" "src/CMakeFiles/svagc_simkernel.dir/simkernel/cost_model.cc.o" "gcc" "src/CMakeFiles/svagc_simkernel.dir/simkernel/cost_model.cc.o.d"
+  "/root/repo/src/simkernel/machine.cc" "src/CMakeFiles/svagc_simkernel.dir/simkernel/machine.cc.o" "gcc" "src/CMakeFiles/svagc_simkernel.dir/simkernel/machine.cc.o.d"
+  "/root/repo/src/simkernel/page_table.cc" "src/CMakeFiles/svagc_simkernel.dir/simkernel/page_table.cc.o" "gcc" "src/CMakeFiles/svagc_simkernel.dir/simkernel/page_table.cc.o.d"
+  "/root/repo/src/simkernel/phys_mem.cc" "src/CMakeFiles/svagc_simkernel.dir/simkernel/phys_mem.cc.o" "gcc" "src/CMakeFiles/svagc_simkernel.dir/simkernel/phys_mem.cc.o.d"
+  "/root/repo/src/simkernel/swapva.cc" "src/CMakeFiles/svagc_simkernel.dir/simkernel/swapva.cc.o" "gcc" "src/CMakeFiles/svagc_simkernel.dir/simkernel/swapva.cc.o.d"
+  "/root/repo/src/simkernel/tlb.cc" "src/CMakeFiles/svagc_simkernel.dir/simkernel/tlb.cc.o" "gcc" "src/CMakeFiles/svagc_simkernel.dir/simkernel/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svagc_simkernel.dir/simkernel/address_space.cc.o"
+  "CMakeFiles/svagc_simkernel.dir/simkernel/address_space.cc.o.d"
+  "CMakeFiles/svagc_simkernel.dir/simkernel/cost_model.cc.o"
+  "CMakeFiles/svagc_simkernel.dir/simkernel/cost_model.cc.o.d"
+  "CMakeFiles/svagc_simkernel.dir/simkernel/machine.cc.o"
+  "CMakeFiles/svagc_simkernel.dir/simkernel/machine.cc.o.d"
+  "CMakeFiles/svagc_simkernel.dir/simkernel/page_table.cc.o"
+  "CMakeFiles/svagc_simkernel.dir/simkernel/page_table.cc.o.d"
+  "CMakeFiles/svagc_simkernel.dir/simkernel/phys_mem.cc.o"
+  "CMakeFiles/svagc_simkernel.dir/simkernel/phys_mem.cc.o.d"
+  "CMakeFiles/svagc_simkernel.dir/simkernel/swapva.cc.o"
+  "CMakeFiles/svagc_simkernel.dir/simkernel/swapva.cc.o.d"
+  "CMakeFiles/svagc_simkernel.dir/simkernel/tlb.cc.o"
+  "CMakeFiles/svagc_simkernel.dir/simkernel/tlb.cc.o.d"
+  "libsvagc_simkernel.a"
+  "libsvagc_simkernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svagc_simkernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/bisort.cc" "src/CMakeFiles/svagc_workloads.dir/workloads/bisort.cc.o" "gcc" "src/CMakeFiles/svagc_workloads.dir/workloads/bisort.cc.o.d"
+  "/root/repo/src/workloads/compress.cc" "src/CMakeFiles/svagc_workloads.dir/workloads/compress.cc.o" "gcc" "src/CMakeFiles/svagc_workloads.dir/workloads/compress.cc.o.d"
+  "/root/repo/src/workloads/crypto_aes.cc" "src/CMakeFiles/svagc_workloads.dir/workloads/crypto_aes.cc.o" "gcc" "src/CMakeFiles/svagc_workloads.dir/workloads/crypto_aes.cc.o.d"
+  "/root/repo/src/workloads/fft.cc" "src/CMakeFiles/svagc_workloads.dir/workloads/fft.cc.o" "gcc" "src/CMakeFiles/svagc_workloads.dir/workloads/fft.cc.o.d"
+  "/root/repo/src/workloads/lru_cache.cc" "src/CMakeFiles/svagc_workloads.dir/workloads/lru_cache.cc.o" "gcc" "src/CMakeFiles/svagc_workloads.dir/workloads/lru_cache.cc.o.d"
+  "/root/repo/src/workloads/lu.cc" "src/CMakeFiles/svagc_workloads.dir/workloads/lu.cc.o" "gcc" "src/CMakeFiles/svagc_workloads.dir/workloads/lu.cc.o.d"
+  "/root/repo/src/workloads/pagerank.cc" "src/CMakeFiles/svagc_workloads.dir/workloads/pagerank.cc.o" "gcc" "src/CMakeFiles/svagc_workloads.dir/workloads/pagerank.cc.o.d"
+  "/root/repo/src/workloads/parallelsort.cc" "src/CMakeFiles/svagc_workloads.dir/workloads/parallelsort.cc.o" "gcc" "src/CMakeFiles/svagc_workloads.dir/workloads/parallelsort.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/CMakeFiles/svagc_workloads.dir/workloads/registry.cc.o" "gcc" "src/CMakeFiles/svagc_workloads.dir/workloads/registry.cc.o.d"
+  "/root/repo/src/workloads/runner.cc" "src/CMakeFiles/svagc_workloads.dir/workloads/runner.cc.o" "gcc" "src/CMakeFiles/svagc_workloads.dir/workloads/runner.cc.o.d"
+  "/root/repo/src/workloads/sigverify.cc" "src/CMakeFiles/svagc_workloads.dir/workloads/sigverify.cc.o" "gcc" "src/CMakeFiles/svagc_workloads.dir/workloads/sigverify.cc.o.d"
+  "/root/repo/src/workloads/sor.cc" "src/CMakeFiles/svagc_workloads.dir/workloads/sor.cc.o" "gcc" "src/CMakeFiles/svagc_workloads.dir/workloads/sor.cc.o.d"
+  "/root/repo/src/workloads/sparse.cc" "src/CMakeFiles/svagc_workloads.dir/workloads/sparse.cc.o" "gcc" "src/CMakeFiles/svagc_workloads.dir/workloads/sparse.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/svagc_workloads.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/svagc_workloads.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/svagc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svagc_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svagc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svagc_simkernel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

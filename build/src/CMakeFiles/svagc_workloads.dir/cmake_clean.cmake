@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svagc_workloads.dir/workloads/bisort.cc.o"
+  "CMakeFiles/svagc_workloads.dir/workloads/bisort.cc.o.d"
+  "CMakeFiles/svagc_workloads.dir/workloads/compress.cc.o"
+  "CMakeFiles/svagc_workloads.dir/workloads/compress.cc.o.d"
+  "CMakeFiles/svagc_workloads.dir/workloads/crypto_aes.cc.o"
+  "CMakeFiles/svagc_workloads.dir/workloads/crypto_aes.cc.o.d"
+  "CMakeFiles/svagc_workloads.dir/workloads/fft.cc.o"
+  "CMakeFiles/svagc_workloads.dir/workloads/fft.cc.o.d"
+  "CMakeFiles/svagc_workloads.dir/workloads/lru_cache.cc.o"
+  "CMakeFiles/svagc_workloads.dir/workloads/lru_cache.cc.o.d"
+  "CMakeFiles/svagc_workloads.dir/workloads/lu.cc.o"
+  "CMakeFiles/svagc_workloads.dir/workloads/lu.cc.o.d"
+  "CMakeFiles/svagc_workloads.dir/workloads/pagerank.cc.o"
+  "CMakeFiles/svagc_workloads.dir/workloads/pagerank.cc.o.d"
+  "CMakeFiles/svagc_workloads.dir/workloads/parallelsort.cc.o"
+  "CMakeFiles/svagc_workloads.dir/workloads/parallelsort.cc.o.d"
+  "CMakeFiles/svagc_workloads.dir/workloads/registry.cc.o"
+  "CMakeFiles/svagc_workloads.dir/workloads/registry.cc.o.d"
+  "CMakeFiles/svagc_workloads.dir/workloads/runner.cc.o"
+  "CMakeFiles/svagc_workloads.dir/workloads/runner.cc.o.d"
+  "CMakeFiles/svagc_workloads.dir/workloads/sigverify.cc.o"
+  "CMakeFiles/svagc_workloads.dir/workloads/sigverify.cc.o.d"
+  "CMakeFiles/svagc_workloads.dir/workloads/sor.cc.o"
+  "CMakeFiles/svagc_workloads.dir/workloads/sor.cc.o.d"
+  "CMakeFiles/svagc_workloads.dir/workloads/sparse.cc.o"
+  "CMakeFiles/svagc_workloads.dir/workloads/sparse.cc.o.d"
+  "CMakeFiles/svagc_workloads.dir/workloads/workload.cc.o"
+  "CMakeFiles/svagc_workloads.dir/workloads/workload.cc.o.d"
+  "libsvagc_workloads.a"
+  "libsvagc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svagc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collectors_test.dir/collectors_test.cc.o"
+  "CMakeFiles/collectors_test.dir/collectors_test.cc.o.d"
+  "collectors_test"
+  "collectors_test.pdb"
+  "collectors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collectors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_phases_test.dir/gc_phases_test.cc.o"
+  "CMakeFiles/gc_phases_test.dir/gc_phases_test.cc.o.d"
+  "gc_phases_test"
+  "gc_phases_test.pdb"
+  "gc_phases_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_phases_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swapva_test.dir/swapva_test.cc.o"
+  "CMakeFiles/swapva_test.dir/swapva_test.cc.o.d"
+  "swapva_test"
+  "swapva_test.pdb"
+  "swapva_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swapva_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
