@@ -234,8 +234,9 @@ bench/CMakeFiles/fig16_throughput_vs_baselines.dir/fig16_throughput_vs_baselines
  /root/repo/src/simkernel/phys_mem.h /root/repo/src/simkernel/trace.h \
  /root/repo/src/support/align.h /root/repo/src/runtime/roots.h \
  /root/repo/src/runtime/tlab.h /root/repo/src/simkernel/swapva.h \
- /usr/include/c++/12/span /root/repo/src/support/stats.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/span /root/repo/src/simkernel/fault.h \
+ /root/repo/src/support/stats.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \

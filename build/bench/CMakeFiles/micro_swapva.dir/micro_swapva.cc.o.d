@@ -240,4 +240,5 @@ bench/CMakeFiles/micro_swapva.dir/micro_swapva.cc.o: \
  /root/repo/src/support/check.h /root/repo/src/support/spin_lock.h \
  /root/repo/src/simkernel/page_table.h /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/simkernel/phys_mem.h /root/repo/src/simkernel/trace.h
+ /root/repo/src/simkernel/phys_mem.h /root/repo/src/simkernel/trace.h \
+ /root/repo/src/simkernel/fault.h

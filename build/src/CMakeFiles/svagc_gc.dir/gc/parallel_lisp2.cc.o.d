@@ -232,8 +232,8 @@ src/CMakeFiles/svagc_gc.dir/gc/parallel_lisp2.cc.o: \
  /root/repo/src/support/align.h /root/repo/src/runtime/jvm.h \
  /root/repo/src/runtime/roots.h /root/repo/src/runtime/tlab.h \
  /root/repo/src/simkernel/swapva.h /usr/include/c++/12/span \
- /root/repo/src/support/stats.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/stl_algo.h \
+ /root/repo/src/simkernel/fault.h /root/repo/src/support/stats.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/runtime/heap.cc" "src/CMakeFiles/svagc_runtime.dir/runtime/heap.cc.o" "gcc" "src/CMakeFiles/svagc_runtime.dir/runtime/heap.cc.o.d"
+  "/root/repo/src/runtime/heap_snapshot.cc" "src/CMakeFiles/svagc_runtime.dir/runtime/heap_snapshot.cc.o" "gcc" "src/CMakeFiles/svagc_runtime.dir/runtime/heap_snapshot.cc.o.d"
   "/root/repo/src/runtime/heap_verifier.cc" "src/CMakeFiles/svagc_runtime.dir/runtime/heap_verifier.cc.o" "gcc" "src/CMakeFiles/svagc_runtime.dir/runtime/heap_verifier.cc.o.d"
   "/root/repo/src/runtime/jvm.cc" "src/CMakeFiles/svagc_runtime.dir/runtime/jvm.cc.o" "gcc" "src/CMakeFiles/svagc_runtime.dir/runtime/jvm.cc.o.d"
   "/root/repo/src/runtime/object.cc" "src/CMakeFiles/svagc_runtime.dir/runtime/object.cc.o" "gcc" "src/CMakeFiles/svagc_runtime.dir/runtime/object.cc.o.d"

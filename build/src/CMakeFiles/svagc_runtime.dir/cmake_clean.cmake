@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/svagc_runtime.dir/runtime/heap.cc.o"
   "CMakeFiles/svagc_runtime.dir/runtime/heap.cc.o.d"
+  "CMakeFiles/svagc_runtime.dir/runtime/heap_snapshot.cc.o"
+  "CMakeFiles/svagc_runtime.dir/runtime/heap_snapshot.cc.o.d"
   "CMakeFiles/svagc_runtime.dir/runtime/heap_verifier.cc.o"
   "CMakeFiles/svagc_runtime.dir/runtime/heap_verifier.cc.o.d"
   "CMakeFiles/svagc_runtime.dir/runtime/jvm.cc.o"

@@ -1,6 +1,6 @@
 src/CMakeFiles/svagc_simkernel.dir/simkernel/swapva.cc.o: \
  /root/repo/src/simkernel/swapva.cc /usr/include/stdc-predef.h \
- /root/repo/src/simkernel/swapva.h /usr/include/c++/12/cstdint \
+ /root/repo/src/simkernel/swapva.h /usr/include/c++/12/cstddef \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/os_defines.h \
  /usr/include/features.h /usr/include/features-time64.h \
@@ -12,6 +12,8 @@ src/CMakeFiles/svagc_simkernel.dir/simkernel/swapva.cc.o: \
  /usr/include/x86_64-linux-gnu/gnu/stubs-64.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/cpu_defines.h \
  /usr/include/c++/12/pstl/pstl_config.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/stddef.h \
+ /usr/include/c++/12/cstdint \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/stdint.h /usr/include/stdint.h \
  /usr/include/x86_64-linux-gnu/bits/libc-header-start.h \
  /usr/include/x86_64-linux-gnu/bits/types.h \
@@ -43,8 +45,7 @@ src/CMakeFiles/svagc_simkernel.dir/simkernel/swapva.cc.o: \
  /usr/include/c++/12/bits/stl_construct.h \
  /usr/include/c++/12/debug/debug.h \
  /usr/include/c++/12/bits/predefined_ops.h \
- /usr/include/c++/12/bits/range_access.h /usr/include/c++/12/cstddef \
- /usr/lib/gcc/x86_64-linux-gnu/12/include/stddef.h \
+ /usr/include/c++/12/bits/range_access.h \
  /usr/include/c++/12/bits/ranges_base.h \
  /usr/include/c++/12/bits/max_size_type.h /usr/include/c++/12/numbers \
  /root/repo/src/simkernel/address_space.h \
@@ -228,6 +229,7 @@ src/CMakeFiles/svagc_simkernel.dir/simkernel/swapva.cc.o: \
  /root/repo/src/simkernel/page_table.h /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/simkernel/phys_mem.h /root/repo/src/simkernel/trace.h \
- /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
+ /root/repo/src/simkernel/fault.h /usr/include/c++/12/numeric \
+ /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/support/align.h

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svagc_verify.dir/verify/differential_oracle.cc.o"
+  "CMakeFiles/svagc_verify.dir/verify/differential_oracle.cc.o.d"
+  "CMakeFiles/svagc_verify.dir/verify/fault_injector.cc.o"
+  "CMakeFiles/svagc_verify.dir/verify/fault_injector.cc.o.d"
+  "CMakeFiles/svagc_verify.dir/verify/invariant_registry.cc.o"
+  "CMakeFiles/svagc_verify.dir/verify/invariant_registry.cc.o.d"
+  "libsvagc_verify.a"
+  "libsvagc_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svagc_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/svagc_verify.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/svagc_workloads.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/svagc_memsim.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/svagc_core.dir/DependInfo.cmake"

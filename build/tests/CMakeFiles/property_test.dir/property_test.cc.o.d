@@ -293,6 +293,9 @@ tests/CMakeFiles/property_test.dir/property_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \
@@ -333,12 +336,9 @@ tests/CMakeFiles/property_test.dir/property_test.cc.o: \
  /root/repo/src/simkernel/phys_mem.h /root/repo/src/simkernel/trace.h \
  /root/repo/src/support/align.h /root/repo/src/runtime/roots.h \
  /root/repo/src/runtime/tlab.h /root/repo/src/simkernel/swapva.h \
- /usr/include/c++/12/span /root/repo/src/support/stats.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
- /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/support/rng.h /root/repo/tests/test_util.h \
- /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/span /root/repo/src/simkernel/fault.h \
+ /root/repo/src/support/stats.h /root/repo/src/support/rng.h \
+ /root/repo/tests/test_util.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/workloads/runner.h /root/repo/src/core/svagc_collector.h \
  /root/repo/src/gc/parallel_lisp2.h /root/repo/src/gc/collector.h \

@@ -327,8 +327,8 @@ tests/CMakeFiles/runtime_test.dir/runtime_test.cc.o: \
  /root/repo/src/support/align.h /root/repo/src/runtime/jvm.h \
  /root/repo/src/runtime/roots.h /root/repo/src/runtime/tlab.h \
  /root/repo/src/simkernel/swapva.h /usr/include/c++/12/span \
- /root/repo/src/support/stats.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/simkernel/fault.h /root/repo/src/support/stats.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/support/worker_gang.h \

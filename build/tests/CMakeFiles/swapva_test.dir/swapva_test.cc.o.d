@@ -324,4 +324,4 @@ tests/CMakeFiles/swapva_test.dir/swapva_test.cc.o: \
  /root/repo/src/support/check.h /root/repo/src/support/spin_lock.h \
  /root/repo/src/simkernel/page_table.h \
  /root/repo/src/simkernel/phys_mem.h /root/repo/src/simkernel/trace.h \
- /root/repo/src/support/rng.h
+ /root/repo/src/simkernel/fault.h /root/repo/src/support/rng.h

@@ -17,3 +17,5 @@ include("/root/repo/build/tests/integration_test[1]_include.cmake")
 include("/root/repo/build/tests/extensions_test[1]_include.cmake")
 include("/root/repo/build/tests/concurrency_test[1]_include.cmake")
 include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_injection_test[1]_include.cmake")
+include("/root/repo/build/tests/differential_test[1]_include.cmake")

@@ -1,5 +1,7 @@
 #include "core/move_object.h"
 
+#include <span>
+
 namespace svagc::core {
 
 void ObjectMover::Move(sim::CpuContext& ctx, rt::vaddr_t src, rt::vaddr_t dst,
@@ -28,23 +30,78 @@ void ObjectMover::Move(sim::CpuContext& ctx, rt::vaddr_t src, rt::vaddr_t dst,
     return;
   }
 
-  ++stats_.objects_swapped;
-  stats_.bytes_swapped += pages << sim::kPageShift;
+  const sim::SwapRequest req{src, dst, pages};
   if (!config_.aggregate) {
-    jvm_.kernel().SysSwapVa(jvm_.address_space(), ctx, src, dst, pages,
-                            swap_options_);
-    ++stats_.swap_calls_issued;
-    return;
+    bool repinned = false;
+    for (;;) {
+      const sim::SysStatus status = jvm_.kernel().SysSwapVa(
+          jvm_.address_space(), ctx, src, dst, pages, swap_options_);
+      ++stats_.swap_calls_issued;
+      if (status == sim::SysStatus::kOk) {
+        BookSwapped(req);
+        return;
+      }
+      if (status == sim::SysStatus::kNotPinned && !repinned && TryRepin(ctx)) {
+        repinned = true;
+        ++stats_.pin_losses_recovered;
+        continue;
+      }
+      // kFault, or a pin loss the kernel would not let us heal.
+      ++stats_.swap_faults_recovered;
+      CompleteByCopy(ctx, req);
+      return;
+    }
   }
-  batch_.push_back(sim::SwapRequest{src, dst, pages});
+  batch_.push_back(req);
   if (batch_.size() >= config_.max_batch) Flush(ctx);
 }
 
 void ObjectMover::Flush(sim::CpuContext& ctx) {
   if (batch_.empty()) return;
-  jvm_.kernel().SysSwapVaVec(jvm_.address_space(), ctx, batch_, swap_options_);
-  ++stats_.swap_calls_issued;
+  std::span<const sim::SwapRequest> pending(batch_);
+  bool repinned = false;
+  while (!pending.empty()) {
+    const sim::SwapVecResult result = jvm_.kernel().SysSwapVaVec(
+        jvm_.address_space(), ctx, pending, swap_options_);
+    ++stats_.swap_calls_issued;
+    // The applied prefix is done and flushed — book it as swapped.
+    for (std::size_t i = 0; i < result.completed; ++i) {
+      BookSwapped(pending[i]);
+    }
+    pending = pending.subspan(result.completed);
+    if (result.status == sim::SysStatus::kOk) break;
+    if (result.status == sim::SysStatus::kNotPinned && !repinned &&
+        TryRepin(ctx)) {
+      repinned = true;
+      ++stats_.pin_losses_recovered;
+      continue;
+    }
+    // kFault mid-vector (or an unhealable pin loss): the remaining requests
+    // — including the refused one — are completed by page-granular copies,
+    // in batch order so the sliding-compaction overlap discipline holds.
+    ++stats_.swap_faults_recovered;
+    for (const sim::SwapRequest& req : pending) CompleteByCopy(ctx, req);
+    pending = {};
+  }
   batch_.clear();
+}
+
+bool ObjectMover::TryRepin(sim::CpuContext& ctx) {
+  if (jvm_.kernel().SysPin(ctx) != sim::SysStatus::kOk) return false;
+  // Algorithm 4's precondition must be re-established: translations cached
+  // by other cores while we were unpinned may be stale.
+  jvm_.kernel().SysFlushProcessTlbs(jvm_.address_space(), ctx);
+  return true;
+}
+
+void ObjectMover::CompleteByCopy(sim::CpuContext& ctx,
+                                 const sim::SwapRequest& req) {
+  if (req.pages == 0 || req.a == req.b) return;
+  const std::uint64_t bytes = req.pages << sim::kPageShift;
+  jvm_.address_space().CopyBytes(ctx, req.b, req.a, bytes,
+                                 sim::AddressSpace::CopyLocality::kCold);
+  stats_.bytes_copied += bytes;
+  ++stats_.objects_copied;
 }
 
 }  // namespace svagc::core

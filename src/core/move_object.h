@@ -27,11 +27,23 @@ struct MoveObjectStats {
   std::uint64_t swap_calls_issued = 0;
   std::uint64_t objects_swapped = 0;
   std::uint64_t objects_copied = 0;
+  // Recovery ledger: swap syscalls that failed (kFault, possibly mid-vector)
+  // and were completed by falling back to page-granular copies, and pin
+  // revocations (kNotPinned) healed by re-pinning + re-flushing.
+  std::uint64_t swap_faults_recovered = 0;
+  std::uint64_t pin_losses_recovered = 0;
 };
 
 // One mover per compaction worker. Swap requests may be buffered; the owner
 // must call Flush() before publishing its region as evacuated (later
 // regions read frames the buffered swaps still have to place).
+//
+// Swap syscalls can fail (see sim::SysStatus); the mover never lets a
+// failure lose a move. A kNotPinned is healed by one re-pin + process flush
+// and a retry; a kFault (or a failed re-pin) degrades the affected requests
+// to page-granular memmoves. Either way every accepted Move lands, and the
+// stats record which path it took — swap/copy counts are booked when the
+// move actually completes, not when it is enqueued.
 class ObjectMover {
  public:
   ObjectMover(rt::Jvm& jvm, const MoveObjectConfig& config)
@@ -49,9 +61,29 @@ class ObjectMover {
 
   void Flush(sim::CpuContext& ctx);
 
+  // Switches the TLB policy for subsequent swaps — the collector prologue
+  // drops to kGlobalPerCall when its pin request was refused. Only legal
+  // with an empty batch (before any Move of the phase).
+  void set_tlb_policy(sim::TlbPolicy policy) {
+    SVAGC_DCHECK(batch_.empty());
+    swap_options_.tlb_policy = policy;
+  }
+
   const MoveObjectStats& stats() const { return stats_; }
 
  private:
+  // Re-pin after a kNotPinned and restore the Algorithm 4 precondition with
+  // one process-wide flush. Returns false if the pin itself was refused.
+  bool TryRepin(sim::CpuContext& ctx);
+
+  // Completes one accepted-but-unswapped request with a page-granular copy.
+  void CompleteByCopy(sim::CpuContext& ctx, const sim::SwapRequest& req);
+
+  void BookSwapped(const sim::SwapRequest& req) {
+    ++stats_.objects_swapped;
+    stats_.bytes_swapped += req.pages << sim::kPageShift;
+  }
+
   rt::Jvm& jvm_;
   MoveObjectConfig config_;
   sim::SwapVaOptions swap_options_;

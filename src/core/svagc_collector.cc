@@ -41,6 +41,8 @@ MoveObjectStats SvagcCollector::AggregateMoveStats() const {
     total.swap_calls_issued += s.swap_calls_issued;
     total.objects_swapped += s.objects_swapped;
     total.objects_copied += s.objects_copied;
+    total.swap_faults_recovered += s.swap_faults_recovered;
+    total.pin_losses_recovered += s.pin_losses_recovered;
   }
   return total;
 }
@@ -72,16 +74,45 @@ void SvagcCollector::FlushMoves(rt::Jvm& jvm, sim::CpuContext& ctx) {
 
 void SvagcCollector::CompactionPrologue(rt::Jvm& jvm, sim::CpuContext& ctx) {
   BindMovers(jvm);
+  pinned_this_cycle_ = false;
   if (!config_.pinned_compaction || !config_.move.use_swapva) return;
-  // Algorithm 4 lines 2-5: pin, then one process-wide shootdown so every
-  // other core starts the phase with no stale entries for this process.
-  jvm.kernel().SysPin(ctx);
+  // Algorithm 4 lines 2-5: pin every compaction worker, then one
+  // process-wide shootdown so every other core starts the phase with no
+  // stale entries for this process. Runs serially before the parallel
+  // compact phase, so the workers' pin flags are set before they start.
+  unsigned pinned = 0;
+  sim::SysStatus status = sim::SysStatus::kOk;
+  for (; pinned < gc_threads(); ++pinned) {
+    status = jvm.kernel().SysPin(worker_ctx(pinned));
+    if (status != sim::SysStatus::kOk) break;
+  }
+  if (status != sim::SysStatus::kOk) {
+    // The scheduler refused the affinity request: Algorithm 4's precondition
+    // cannot be established, so this whole cycle runs with per-call global
+    // shootdowns (the naive regime) instead of trusting local flushes.
+    for (unsigned i = 0; i < pinned; ++i) {
+      jvm.kernel().SysUnpin(worker_ctx(i));
+    }
+    ++pin_refusals_;
+    for (auto& mover : movers_) {
+      mover->set_tlb_policy(sim::TlbPolicy::kGlobalPerCall);
+    }
+    return;
+  }
+  pinned_this_cycle_ = true;
+  for (auto& mover : movers_) {
+    mover->set_tlb_policy(config_.move.tlb_policy);
+  }
   jvm.kernel().SysFlushProcessTlbs(jvm.address_space(), ctx);
 }
 
 void SvagcCollector::CompactionEpilogue(rt::Jvm& jvm, sim::CpuContext& ctx) {
-  if (config_.pinned_compaction && config_.move.use_swapva) {
-    jvm.kernel().SysUnpin(ctx);
+  (void)ctx;
+  if (pinned_this_cycle_) {
+    for (unsigned i = 0; i < gc_threads(); ++i) {
+      jvm.kernel().SysUnpin(worker_ctx(i));
+    }
+    pinned_this_cycle_ = false;
   }
   // Publish aggregated move statistics on the collector log.
   const MoveObjectStats total = AggregateMoveStats();

@@ -35,6 +35,10 @@ class SvagcCollector : public gc::ParallelLisp2 {
   const SvagcConfig& config() const { return config_; }
   MoveObjectStats AggregateMoveStats() const;
 
+  // Cycles whose pin request was refused (kPinRefused): the whole compaction
+  // fell back to per-call global shootdowns instead of Algorithm 4.
+  std::uint64_t pin_refusals() const { return pin_refusals_; }
+
  protected:
   void MoveObject(rt::Jvm& jvm, sim::CpuContext& ctx,
                   const gc::Move& move) override;
@@ -50,6 +54,10 @@ class SvagcCollector : public gc::ParallelLisp2 {
   // One mover per worker, created lazily for the Jvm being collected.
   std::vector<std::unique_ptr<ObjectMover>> movers_;
   rt::Jvm* movers_jvm_ = nullptr;
+  // Whether this cycle's prologue pinned the workers (and the epilogue must
+  // unpin them). False when pinning is off or the pin request was refused.
+  bool pinned_this_cycle_ = false;
+  std::uint64_t pin_refusals_ = 0;
 };
 
 }  // namespace svagc::core

@@ -11,9 +11,15 @@ namespace {
 
 std::string Hex(vaddr_t addr) { return Format("0x%llx", (unsigned long long)addr); }
 
-}  // namespace
+struct CheckSet {
+  bool extents = false;     // page-extent exclusivity during the parse
+  bool references = false;  // passes 2 and 3 after the parse
+};
 
-VerifyResult VerifyHeap(Jvm& jvm) {
+// The single heap walk behind every checker. The linear parse (tiling) is
+// always performed — nothing else is checkable on a heap that does not
+// parse — with the other checks selected by `checks`.
+VerifyResult Verify(Jvm& jvm, const CheckSet& checks) {
   VerifyResult result;
   // The linear walk requires a parsable heap: close out live TLABs first
   // (the GC prologue does the same).
@@ -52,7 +58,7 @@ VerifyResult VerifyHeap(Jvm& jvm) {
       fail("bad object size at " + Hex(cursor));
       break;
     }
-    if (cursor < pending_extent_end) {
+    if (checks.extents && cursor < pending_extent_end) {
       fail("object inside large-object page extent at " + Hex(cursor));
       break;
     }
@@ -62,7 +68,7 @@ VerifyResult VerifyHeap(Jvm& jvm) {
       break;
     }
     if (heap.IsLargeObject(size)) {
-      if (!IsAligned(cursor, sim::kPageSize)) {
+      if (checks.extents && !IsAligned(cursor, sim::kPageSize)) {
         fail("large object not page-aligned at " + Hex(cursor));
         break;
       }
@@ -77,7 +83,7 @@ VerifyResult VerifyHeap(Jvm& jvm) {
     fail("heap walk ended at " + Hex(cursor) + " expected top " +
          Hex(heap.top()));
   }
-  if (!result.ok) return result;
+  if (!result.ok || !checks.references) return result;
 
   // Pass 2: every reference lands on an object start.
   heap.ForEachObject([&](vaddr_t addr, std::uint64_t) {
@@ -98,6 +104,22 @@ VerifyResult VerifyHeap(Jvm& jvm) {
     }
   });
   return result;
+}
+
+}  // namespace
+
+VerifyResult CheckHeapTiling(Jvm& jvm) { return Verify(jvm, {}); }
+
+VerifyResult CheckPageExtents(Jvm& jvm) {
+  return Verify(jvm, {.extents = true});
+}
+
+VerifyResult CheckReferences(Jvm& jvm) {
+  return Verify(jvm, {.references = true});
+}
+
+VerifyResult VerifyHeap(Jvm& jvm) {
+  return Verify(jvm, {.extents = true, .references = true});
 }
 
 }  // namespace svagc::rt

@@ -1,4 +1,8 @@
-// Exhaustive heap consistency checker, run after every collection in tests.
+// Exhaustive heap consistency checkers, run after every collection in tests.
+//
+// The checks are exposed both individually — so verify::InvariantRegistry
+// can run, name, and report them one by one — and as the composite
+// VerifyHeap that existing callers use.
 #pragma once
 
 #include <cstdint>
@@ -16,13 +20,22 @@ struct VerifyResult {
   std::uint64_t live_bytes = 0;
 };
 
-// Checks, over the whole heap:
-//  * the object/filler stream tiles [base, top) exactly;
-//  * object sizes are plausible (aligned, >= minimum, within bounds);
-//  * every reference points to the start of a live object (or is null);
-//  * every root points to the start of a live object (or is null);
-//  * every large object is page-aligned and its page extent up to the next
-//    page boundary contains no other object (SwapVA's safety precondition).
+// Heap tiling: the object/filler stream tiles [base, top) exactly, with
+// plausible sizes (aligned, >= minimum, within bounds) and well-formed
+// fillers.
+VerifyResult CheckHeapTiling(Jvm& jvm);
+
+// Page-extent exclusivity: every large object is page-aligned and its page
+// extent up to the next page boundary contains no other object (SwapVA's
+// safety precondition). Requires a parsable heap, so tiling violations also
+// surface here.
+VerifyResult CheckPageExtents(Jvm& jvm);
+
+// Reference validity: every reference field and every root points to the
+// start of a live object (or is null).
+VerifyResult CheckReferences(Jvm& jvm);
+
+// All of the above in one walk — the historical VerifyHeap contract.
 VerifyResult VerifyHeap(Jvm& jvm);
 
 }  // namespace svagc::rt

@@ -43,6 +43,15 @@ class RootSet {
 
   std::size_t size() const { return slots_.size(); }
 
+  // Snapshot/restore for the differential oracle: both vectors must round-
+  // trip, or handles issued before the snapshot would dangle after restore.
+  const std::vector<vaddr_t>& SnapshotSlots() const { return slots_; }
+  const std::vector<Handle>& SnapshotFreeList() const { return free_; }
+  void Restore(std::vector<vaddr_t> slots, std::vector<Handle> free_list) {
+    slots_ = std::move(slots);
+    free_ = std::move(free_list);
+  }
+
   // Direct slot access for the GC's adjust phase.
   template <typename F>
   void ForEachSlot(F&& f) {

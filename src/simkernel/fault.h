@@ -1,0 +1,71 @@
+// Kernel-side fault-injection points.
+//
+// The verification subsystem (src/verify) provokes the failure modes SwapVA
+// must tolerate: lost shootdown IPIs, mis-targeted local flushes, refused or
+// partially-completed swap syscalls, and pin revocation (scheduler
+// migration). The kernel consults an optional FaultHook at each injection
+// opportunity; with no hook attached every opportunity is a no-op, so
+// production paths pay one pointer test.
+//
+// Each point is classified by how its hazard surfaces:
+//   * error-coded   — the syscall returns a status the caller must handle
+//                     (kSwapVaFault, kForceUnpin, kRefusePin);
+//   * latent hazard — the call "succeeds" but leaves stale TLB state that
+//                     only the TLB-coherence invariant can detect
+//                     (kDropTlbShootdown, kSpuriousLocalFlush).
+#pragma once
+
+#include <cstddef>
+
+namespace svagc::sim {
+
+enum class FaultPoint {
+  // The IPI broadcast of a shootdown (per-call global flush, or the up-front
+  // process-wide flush) is silently lost. Latent: remote TLBs keep stale
+  // entries.
+  kDropTlbShootdown = 0,
+  // The end-of-call local flush targets the wrong address space — a spurious
+  // flush that invalidates nothing the caller needed invalidated. Latent:
+  // the caller's own core keeps stale entries.
+  kSpuriousLocalFlush,
+  // A PTE swap is refused. SysSwapVa performs no work and returns kFault;
+  // SysSwapVaVec stops at the offending request and reports the completed
+  // prefix (partial completion the caller must finish another way).
+  kSwapVaFault,
+  // The scheduler migrated a pinned task: the pin a kLocalOnly caller relies
+  // on is revoked at syscall entry and the call returns kNotPinned.
+  kForceUnpin,
+  // sched_setaffinity denied: SysPin returns kPinRefused and the caller must
+  // fall back to per-call global shootdowns.
+  kRefusePin,
+};
+
+inline constexpr std::size_t kNumFaultPoints = 5;
+
+inline const char* FaultPointName(FaultPoint point) {
+  switch (point) {
+    case FaultPoint::kDropTlbShootdown:
+      return "drop-tlb-shootdown";
+    case FaultPoint::kSpuriousLocalFlush:
+      return "spurious-local-flush";
+    case FaultPoint::kSwapVaFault:
+      return "swapva-fault";
+    case FaultPoint::kForceUnpin:
+      return "force-unpin";
+    case FaultPoint::kRefusePin:
+      return "refuse-pin";
+  }
+  return "?";
+}
+
+// Decision interface the kernel consults at each opportunity. Implemented by
+// verify::FaultInjector; the kernel never owns the hook.
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+  // Called once per injection opportunity for `point`; returning true
+  // injects the fault at that opportunity.
+  virtual bool ShouldFire(FaultPoint point) = 0;
+};
+
+}  // namespace svagc::sim

@@ -30,6 +30,13 @@ struct CpuContext {
   Machine* machine;
   unsigned core_id;
   CycleAccount account;
+
+  // Pin state maintained by Kernel::SysPin/SysUnpin. `pin_declared` latches
+  // on the first successful pin: from then on, kLocalOnly swap calls from
+  // this context are validated against `pinned` (legacy callers that never
+  // pin keep the old trust-the-caller behavior).
+  bool pinned = false;
+  bool pin_declared = false;
 };
 
 class Machine {

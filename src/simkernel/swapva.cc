@@ -17,12 +17,24 @@ std::uint64_t FindSwapPlace(std::uint64_t i, std::uint64_t delta,
 
 }  // namespace
 
-void Kernel::SysSwapVa(AddressSpace& as, CpuContext& ctx, vaddr_t a, vaddr_t b,
-                       std::uint64_t pages, const SwapVaOptions& opts) {
+SysStatus Kernel::ValidatePinned(CpuContext& ctx, const SwapVaOptions& opts) {
+  if (opts.tlb_policy != TlbPolicy::kLocalOnly || !ctx.pin_declared) {
+    return SysStatus::kOk;
+  }
+  if (Inject(FaultPoint::kForceUnpin)) ctx.pinned = false;
+  return ctx.pinned ? SysStatus::kOk : SysStatus::kNotPinned;
+}
+
+SysStatus Kernel::SysSwapVa(AddressSpace& as, CpuContext& ctx, vaddr_t a,
+                            vaddr_t b, std::uint64_t pages,
+                            const SwapVaOptions& opts) {
   ctx.account.Charge(CostKind::kSyscall, machine_.cost().syscall_entry);
   ++swapva_calls_;
-  if (pages == 0 || a == b) return;
+  const SysStatus pin_status = ValidatePinned(ctx, opts);
+  if (pin_status != SysStatus::kOk) return pin_status;
+  if (pages == 0 || a == b) return SysStatus::kOk;
   SVAGC_CHECK(IsAligned(a, kPageSize) && IsAligned(b, kPageSize));
+  if (Inject(FaultPoint::kSwapVaFault)) return SysStatus::kFault;
   const vaddr_t lo = a < b ? a : b;
   const vaddr_t hi = a < b ? b : a;
   if (hi - lo < pages * kPageSize) {
@@ -30,25 +42,43 @@ void Kernel::SysSwapVa(AddressSpace& as, CpuContext& ctx, vaddr_t a, vaddr_t b,
   } else {
     SwapDisjoint(as, ctx, a, b, pages, opts);
     ApplyEndOfCallFlush(as, ctx, opts);
-    return;
+    return SysStatus::kOk;
   }
   // Overlap path flushed page-by-page locally; remote coherence still needs
   // the policy's shootdown.
-  if (opts.tlb_policy == TlbPolicy::kGlobalPerCall) {
+  if (opts.tlb_policy == TlbPolicy::kGlobalPerCall &&
+      !Inject(FaultPoint::kDropTlbShootdown)) {
     machine_.SendTlbShootdown(ctx, as.asid());
   }
+  return SysStatus::kOk;
 }
 
-void Kernel::SysSwapVaVec(AddressSpace& as, CpuContext& ctx,
-                          std::span<const SwapRequest> requests,
-                          const SwapVaOptions& opts) {
+SwapVecResult Kernel::SysSwapVaVec(AddressSpace& as, CpuContext& ctx,
+                                   std::span<const SwapRequest> requests,
+                                   const SwapVaOptions& opts) {
   // One kernel entry for the whole batch — the aggregation of Fig. 5(b).
   ctx.account.Charge(CostKind::kSyscall, machine_.cost().syscall_entry);
   ++swapva_calls_;
+  SwapVecResult result;
+  const SysStatus pin_status = ValidatePinned(ctx, opts);
+  if (pin_status != SysStatus::kOk) {
+    result.status = pin_status;
+    return result;
+  }
   bool any = false;
   for (const SwapRequest& req : requests) {
-    if (req.pages == 0 || req.a == req.b) continue;
+    if (req.pages == 0 || req.a == req.b) {
+      ++result.completed;  // trivially satisfied
+      continue;
+    }
     SVAGC_CHECK(IsAligned(req.a, kPageSize) && IsAligned(req.b, kPageSize));
+    if (Inject(FaultPoint::kSwapVaFault)) {
+      // Partial completion: the applied prefix must still be made coherent
+      // before control returns to user space.
+      if (any) ApplyEndOfCallFlush(as, ctx, opts);
+      result.status = SysStatus::kFault;
+      return result;
+    }
     any = true;
     const vaddr_t lo = req.a < req.b ? req.a : req.b;
     const vaddr_t hi = req.a < req.b ? req.b : req.a;
@@ -57,22 +87,39 @@ void Kernel::SysSwapVaVec(AddressSpace& as, CpuContext& ctx,
     } else {
       SwapDisjoint(as, ctx, req.a, req.b, req.pages, opts);
     }
+    ++result.completed;
   }
   if (any) ApplyEndOfCallFlush(as, ctx, opts);
+  return result;
 }
 
 void Kernel::SysFlushProcessTlbs(AddressSpace& as, CpuContext& ctx) {
   ctx.account.Charge(CostKind::kSyscall, machine_.cost().syscall_entry);
-  machine_.FlushLocalTlb(ctx, as.asid());
-  machine_.SendTlbShootdown(ctx, as.asid());
+  if (Inject(FaultPoint::kSpuriousLocalFlush)) {
+    // Wrong-asid flush: costs the same, invalidates nothing of ours.
+    machine_.FlushLocalTlb(ctx, as.asid() ^ (1ULL << 63));
+  } else {
+    machine_.FlushLocalTlb(ctx, as.asid());
+  }
+  if (!Inject(FaultPoint::kDropTlbShootdown)) {
+    machine_.SendTlbShootdown(ctx, as.asid());
+  }
 }
 
-void Kernel::SysPin(CpuContext& ctx) {
+SysStatus Kernel::SysPin(CpuContext& ctx) {
   ctx.account.Charge(CostKind::kSyscall, machine_.cost().syscall_entry);
+  if (Inject(FaultPoint::kRefusePin)) {
+    ctx.pinned = false;
+    return SysStatus::kPinRefused;
+  }
+  ctx.pinned = true;
+  ctx.pin_declared = true;
+  return SysStatus::kOk;
 }
 
 void Kernel::SysUnpin(CpuContext& ctx) {
   ctx.account.Charge(CostKind::kSyscall, machine_.cost().syscall_entry);
+  ctx.pinned = false;
 }
 
 void Kernel::SwapDisjoint(AddressSpace& as, CpuContext& ctx, vaddr_t a,
@@ -173,8 +220,13 @@ void Kernel::SwapOverlap(AddressSpace& as, CpuContext& ctx, vaddr_t lo,
 void Kernel::ApplyEndOfCallFlush(AddressSpace& as, CpuContext& ctx,
                                  const SwapVaOptions& opts) {
   // flush_tlb_local(pid) — Algorithm 1 line 19.
-  machine_.FlushLocalTlb(ctx, as.asid());
-  if (opts.tlb_policy == TlbPolicy::kGlobalPerCall) {
+  if (Inject(FaultPoint::kSpuriousLocalFlush)) {
+    machine_.FlushLocalTlb(ctx, as.asid() ^ (1ULL << 63));
+  } else {
+    machine_.FlushLocalTlb(ctx, as.asid());
+  }
+  if (opts.tlb_policy == TlbPolicy::kGlobalPerCall &&
+      !Inject(FaultPoint::kDropTlbShootdown)) {
     // Unoptimized coherence: every call shoots down every other core.
     machine_.SendTlbShootdown(ctx, as.asid());
   }

@@ -12,19 +12,62 @@
 //   * kLocalOnly    — scalable: the caller pinned itself and issued one
 //     up-front SysFlushProcessTlbs; each call flushes only the local TLB
 //     (Algorithm 4's regime).
+//
+// Syscalls that real kernels can refuse return a SysStatus; callers must
+// handle kFault / kNotPinned / kPinRefused rather than assume success. The
+// failure modes themselves are driven by an optional FaultHook (fault.h).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 
 #include "simkernel/address_space.h"
 #include "simkernel/config.h"
+#include "simkernel/fault.h"
 
 namespace svagc::sim {
 
 enum class TlbPolicy {
   kGlobalPerCall,
   kLocalOnly,
+};
+
+// Syscall result codes. The simulated kernel aborts on caller *bugs*
+// (misaligned ranges) but returns errors for conditions a correct caller
+// must tolerate at runtime.
+enum class SysStatus {
+  kOk = 0,
+  // A PTE swap was refused; for SysSwapVa no work was done.
+  kFault,
+  // A kLocalOnly call arrived from a context whose pin was revoked
+  // (scheduler migration); no work was done. The caller must re-pin and
+  // re-flush before retrying, or fall back to copying.
+  kNotPinned,
+  // SysPin was denied (sched_setaffinity failure); the context is unpinned.
+  kPinRefused,
+};
+
+inline const char* SysStatusName(SysStatus status) {
+  switch (status) {
+    case SysStatus::kOk:
+      return "ok";
+    case SysStatus::kFault:
+      return "fault";
+    case SysStatus::kNotPinned:
+      return "not-pinned";
+    case SysStatus::kPinRefused:
+      return "pin-refused";
+  }
+  return "?";
+}
+
+// Result of an aggregated call: requests [0, completed) were fully applied
+// (and, if any work was done, covered by the end-of-call flush); requests
+// [completed, n) were not touched. completed == n iff status == kOk.
+struct SwapVecResult {
+  SysStatus status = SysStatus::kOk;
+  std::size_t completed = 0;
 };
 
 struct SwapVaOptions {
@@ -49,7 +92,7 @@ struct SwapRequest {
 
 // The kernel object: one per simulated machine. Stateless apart from the
 // machine reference; processes are represented by their address spaces plus
-// the pinning flag carried in ProcessState.
+// the pinning flag carried in each CpuContext.
 class Kernel {
  public:
   explicit Kernel(Machine& machine) : machine_(machine) {}
@@ -59,13 +102,15 @@ class Kernel {
   // swapva(2). `a` and `b` must be page-aligned; ranges may overlap (the
   // overlap optimization kicks in automatically, as the paper's kernel
   // does). Charges one syscall entry; applies the TLB policy at the end.
-  void SysSwapVa(AddressSpace& as, CpuContext& ctx, vaddr_t a, vaddr_t b,
-                 std::uint64_t pages, const SwapVaOptions& opts);
+  SysStatus SysSwapVa(AddressSpace& as, CpuContext& ctx, vaddr_t a, vaddr_t b,
+                      std::uint64_t pages, const SwapVaOptions& opts);
 
   // swapva_vec(2): aggregated requests, one kernel entry, one flush.
-  void SysSwapVaVec(AddressSpace& as, CpuContext& ctx,
-                    std::span<const SwapRequest> requests,
-                    const SwapVaOptions& opts);
+  // Per-request atomic: on error the completed prefix is applied and
+  // flushed, the rest untouched (see SwapVecResult).
+  SwapVecResult SysSwapVaVec(AddressSpace& as, CpuContext& ctx,
+                             std::span<const SwapRequest> requests,
+                             const SwapVaOptions& opts);
 
   // flush_tlb_all_cores(pid): Algorithm 4 line 5 — one local flush plus a
   // broadcast shootdown, invoked once before a pinned compaction phase.
@@ -74,9 +119,19 @@ class Kernel {
   // sched_setaffinity-style pin/unpin. In the simulation pinning is a
   // correctness *declaration*: the caller promises all its translations
   // during the pinned window happen on ctx.core_id, which lets SwapVA use
-  // kLocalOnly flushing. Charged as one syscall each.
-  void SysPin(CpuContext& ctx);
+  // kLocalOnly flushing. Charged as one syscall each. SysPin can be refused
+  // (kPinRefused); once a context has pinned at least once, kLocalOnly
+  // swap calls from it are validated against the pin and fail with
+  // kNotPinned if the pin was revoked.
+  SysStatus SysPin(CpuContext& ctx);
   void SysUnpin(CpuContext& ctx);
+
+  // Attaches (or detaches, with nullptr) the fault-injection hook. The
+  // kernel does not own the hook; the caller must detach before the hook is
+  // destroyed. Not thread-safe against in-flight syscalls — attach/detach
+  // only while the machine is quiescent.
+  void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
+  FaultHook* fault_hook() const { return fault_hook_; }
 
   std::uint64_t swapva_calls() const { return swapva_calls_; }
   std::uint64_t pages_swapped() const { return pages_swapped_; }
@@ -93,7 +148,17 @@ class Kernel {
   void ApplyEndOfCallFlush(AddressSpace& as, CpuContext& ctx,
                            const SwapVaOptions& opts);
 
+  bool Inject(FaultPoint point) {
+    return fault_hook_ != nullptr && fault_hook_->ShouldFire(point);
+  }
+
+  // Entry check for kLocalOnly swap calls: contexts that have declared a pin
+  // (ever called SysPin) must still hold it. The kForceUnpin fault revokes
+  // the pin here, modelling a scheduler migration between syscalls.
+  SysStatus ValidatePinned(CpuContext& ctx, const SwapVaOptions& opts);
+
   Machine& machine_;
+  FaultHook* fault_hook_ = nullptr;
   std::uint64_t swapva_calls_ = 0;
   std::uint64_t pages_swapped_ = 0;
 };

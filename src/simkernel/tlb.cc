@@ -62,6 +62,15 @@ void Tlb::FlushPage(std::uint64_t asid, std::uint64_t vpn) {
   }
 }
 
+std::vector<TlbSnapshotEntry> Tlb::SnapshotValidEntries() {
+  SpinLockGuard guard(lock_);
+  std::vector<TlbSnapshotEntry> snapshot;
+  for (const Entry& entry : entries_) {
+    if (entry.valid) snapshot.push_back({entry.asid, entry.vpn, entry.frame});
+  }
+  return snapshot;
+}
+
 void Tlb::FlushAll() {
   SpinLockGuard guard(lock_);
   ++flushes_;

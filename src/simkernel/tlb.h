@@ -17,6 +17,13 @@
 
 namespace svagc::sim {
 
+// One valid TLB entry, as observed by SnapshotValidEntries.
+struct TlbSnapshotEntry {
+  std::uint64_t asid = 0;
+  std::uint64_t vpn = 0;
+  frame_t frame = kInvalidFrame;
+};
+
 class Tlb {
  public:
   // Defaults approximate a Skylake STLB: 1536 entries, 12-way.
@@ -36,6 +43,11 @@ class Tlb {
   // Single-page invalidation (invlpg / flush_tlb_page).
   void FlushPage(std::uint64_t asid, std::uint64_t vpn);
   void FlushAll();
+
+  // Copies every valid entry under the lock — the TLB-coherence invariant
+  // compares these against the live page table. Observation only: no cost
+  // accounting, no LRU update.
+  std::vector<TlbSnapshotEntry> SnapshotValidEntries();
 
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }

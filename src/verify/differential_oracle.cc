@@ -1,0 +1,274 @@
+#include "verify/differential_oracle.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+#include "core/svagc_collector.h"
+#include "runtime/heap_snapshot.h"
+#include "runtime/jvm.h"
+#include "support/align.h"
+#include "support/table.h"
+#include "workloads/workload.h"
+
+namespace svagc::verify {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+// FNV-1a over [begin, end) of the virtual address space, page chunk by page
+// chunk through the raw (uncosted) translation path.
+std::uint64_t HashRange(sim::AddressSpace& as, rt::vaddr_t begin,
+                        rt::vaddr_t end) {
+  std::uint64_t hash = kFnvOffset;
+  rt::vaddr_t cursor = begin;
+  while (cursor < end) {
+    const rt::vaddr_t page_end =
+        (cursor & ~(sim::kPageSize - 1)) + sim::kPageSize;
+    const std::uint64_t chunk = std::min<std::uint64_t>(page_end, end) - cursor;
+    const std::byte* bytes = as.RawPtr(cursor);
+    for (std::uint64_t i = 0; i < chunk; ++i) {
+      hash ^= static_cast<std::uint64_t>(bytes[i]);
+      hash *= kFnvPrime;
+    }
+    cursor += chunk;
+  }
+  return hash;
+}
+
+// The intentional-bug arm: an SvagcCollector that silently drops the Nth
+// displaced move. Exercises the oracle's ability to notice a lost move.
+class DropMoveCollector : public core::SvagcCollector {
+ public:
+  DropMoveCollector(sim::Machine& machine, unsigned gc_threads,
+                    unsigned first_core, const core::SvagcConfig& config,
+                    std::uint64_t drop_index)
+      : core::SvagcCollector(machine, gc_threads, first_core, config),
+        drop_index_(drop_index) {}
+
+  std::uint64_t moves_dropped() const {
+    return moves_dropped_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  void MoveObject(rt::Jvm& jvm, sim::CpuContext& ctx,
+                  const gc::Move& move) override {
+    if (move.src != move.dst &&
+        displaced_moves_.fetch_add(1, std::memory_order_relaxed) ==
+            drop_index_) {
+      moves_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;  // the bug: forwarding promised a move that never happens
+    }
+    core::SvagcCollector::MoveObject(jvm, ctx, move);
+  }
+
+ private:
+  const std::uint64_t drop_index_;
+  std::atomic<std::uint64_t> displaced_moves_{0};
+  std::atomic<std::uint64_t> moves_dropped_{0};
+};
+
+std::unique_ptr<core::SvagcCollector> MakeArmCollector(
+    const OracleConfig& config, sim::Machine& machine, bool use_swapva) {
+  core::SvagcConfig svagc;
+  svagc.move.threshold_pages = config.swap_threshold_pages;
+  svagc.move.use_swapva = use_swapva;
+  if (use_swapva && config.drop_move) {
+    return std::make_unique<DropMoveCollector>(machine, config.gc_threads,
+                                               /*first_core=*/0, svagc,
+                                               config.drop_move_index);
+  }
+  return std::make_unique<core::SvagcCollector>(machine, config.gc_threads,
+                                                /*first_core=*/0, svagc);
+}
+
+// Allocates salt: one unrooted large spacer (garbage, so everything above it
+// must slide down — guaranteeing displaced moves), then `count` rooted large
+// arrays with deterministic payloads.
+void PlantSalt(rt::Jvm& jvm, const OracleConfig& config) {
+  if (config.large_object_salt == 0) return;
+  const std::uint64_t data_bytes =
+      config.salt_object_bytes - rt::ObjectBytes(0, 0);
+  // Spacer: allocated but never rooted.
+  jvm.New(workloads::kTypeDataArray, 0, data_bytes);
+  for (unsigned i = 0; i < config.large_object_salt; ++i) {
+    const rt::vaddr_t addr =
+        jvm.New(workloads::kTypeDataArray, 0, data_bytes);
+    rt::ObjectView view = jvm.View(addr);
+    const std::uint64_t words = view.data_words();
+    for (std::uint64_t w = 0; w < words; ++w) {
+      view.set_data_word(w, (std::uint64_t{i} << 48) ^ (w * 0x9E3779B97F4A7C15ULL));
+    }
+    jvm.roots().Add(addr);
+  }
+}
+
+}  // namespace
+
+HeapDigest DigestHeap(rt::Jvm& jvm) {
+  HeapDigest digest;
+  jvm.RetireAllTlabs();
+  rt::Heap& heap = jvm.heap();
+  sim::AddressSpace& as = jvm.address_space();
+  digest.top = heap.top();
+
+  auto fail = [&](std::string message) {
+    digest.valid = false;
+    digest.error = std::move(message);
+  };
+
+  rt::vaddr_t cursor = heap.base();
+  while (cursor < heap.top()) {
+    const std::uint64_t word = as.ReadWord(cursor);
+    if (rt::IsFillerWord(word)) {
+      const std::uint64_t gap = rt::FillerGapBytes(word);
+      if (gap == 0 || (gap & 7) != 0 || cursor + gap > heap.top()) {
+        fail(Format("unparsable filler at 0x%llx", (unsigned long long)cursor));
+        return digest;
+      }
+      digest.fillers.emplace_back(cursor, gap);
+      cursor += gap;
+      continue;
+    }
+    const std::uint64_t size = word;
+    if (size < rt::kMinObjectBytes || (size & 7) != 0 ||
+        cursor + size > heap.top()) {
+      fail(Format("unparsable object size at 0x%llx",
+                  (unsigned long long)cursor));
+      return digest;
+    }
+    DigestObject obj;
+    obj.addr = cursor;
+    obj.size = size;
+    rt::ObjectView view(as, cursor);
+    obj.type_id = view.type_id();
+    obj.num_refs = view.num_refs();
+    if (rt::ObjectBytes(obj.num_refs, 0) > size) {
+      fail(Format("refs overflow object at 0x%llx", (unsigned long long)cursor));
+      return digest;
+    }
+    obj.refs.reserve(obj.num_refs);
+    for (std::uint32_t i = 0; i < obj.num_refs; ++i) {
+      obj.refs.push_back(view.ref(i));
+    }
+    obj.payload_hash = HashRange(as, view.data_base(), cursor + size);
+    digest.objects.push_back(std::move(obj));
+    cursor += size;
+  }
+  if (cursor != heap.top()) {
+    fail(Format("walk ended at 0x%llx, top 0x%llx", (unsigned long long)cursor,
+                (unsigned long long)heap.top()));
+    return digest;
+  }
+  digest.roots = jvm.roots().SnapshotSlots();
+  return digest;
+}
+
+std::string CompareDigests(const HeapDigest& swap_arm,
+                           const HeapDigest& copy_arm) {
+  if (!swap_arm.valid) return "swap arm heap unparsable: " + swap_arm.error;
+  if (!copy_arm.valid) return "copy arm heap unparsable: " + copy_arm.error;
+  if (swap_arm.top != copy_arm.top) {
+    return Format("top differs: swap 0x%llx vs copy 0x%llx",
+                  (unsigned long long)swap_arm.top,
+                  (unsigned long long)copy_arm.top);
+  }
+  if (swap_arm.objects.size() != copy_arm.objects.size()) {
+    return Format("object count differs: swap %zu vs copy %zu",
+                  swap_arm.objects.size(), copy_arm.objects.size());
+  }
+  for (std::size_t i = 0; i < swap_arm.objects.size(); ++i) {
+    const DigestObject& a = swap_arm.objects[i];
+    const DigestObject& b = copy_arm.objects[i];
+    if (a == b) continue;
+    if (a.addr != b.addr || a.size != b.size) {
+      return Format("object %zu layout differs: (0x%llx, %llu) vs (0x%llx, %llu)",
+                    i, (unsigned long long)a.addr, (unsigned long long)a.size,
+                    (unsigned long long)b.addr, (unsigned long long)b.size);
+    }
+    if (a.type_id != b.type_id || a.num_refs != b.num_refs ||
+        a.refs != b.refs) {
+      return Format("object %zu at 0x%llx header/refs differ", i,
+                    (unsigned long long)a.addr);
+    }
+    return Format("object %zu at 0x%llx payload differs", i,
+                  (unsigned long long)a.addr);
+  }
+  if (swap_arm.fillers != copy_arm.fillers) return "filler placement differs";
+  if (swap_arm.roots != copy_arm.roots) return "root targets differ";
+  return "";
+}
+
+OracleResult RunDifferentialOracle(const OracleConfig& config) {
+  auto workload = workloads::MakeWorkload(config.workload);
+  SVAGC_CHECK(workload != nullptr);
+  const workloads::WorkloadInfo& info = workload->info();
+
+  const std::uint64_t salt_bytes =
+      static_cast<std::uint64_t>(config.large_object_salt + 1) *
+      (config.salt_object_bytes + 2 * sim::kPageSize);
+  const std::uint64_t heap_bytes =
+      AlignUp(static_cast<std::uint64_t>(
+                  static_cast<double>(info.min_heap_bytes) *
+                  config.heap_factor) +
+                  salt_bytes,
+              sim::kPageSize);
+
+  sim::Machine machine(config.machine_cores, sim::ProfileXeonGold6130());
+  sim::Kernel kernel(machine);
+  sim::PhysicalMemory phys(heap_bytes + (8ULL << 20));
+
+  rt::JvmConfig jvm_config;
+  jvm_config.heap.capacity = heap_bytes;
+  jvm_config.heap.swap_threshold_pages = config.swap_threshold_pages;
+  jvm_config.heap.page_align_large = true;
+  jvm_config.logical_threads = info.logical_threads;
+  jvm_config.gc_threads = config.gc_threads;
+  jvm_config.name = "oracle:" + info.name;
+  rt::Jvm jvm(machine, phys, kernel, jvm_config);
+
+  // Warmup under the real collector (Setup/Iterate may trigger cycles).
+  jvm.set_collector(MakeArmCollector(config, machine, /*use_swapva=*/true));
+  workload->Setup(jvm);
+  for (unsigned i = 0; i < config.warmup_iterations; ++i) {
+    workload->Iterate(jvm);
+  }
+  PlantSalt(jvm, config);
+
+  const rt::HeapSnapshot snapshot = rt::SnapshotHeap(jvm);
+  const InvariantRegistry registry = InvariantRegistry::Default();
+  OracleResult result;
+
+  // Arm A: SwapVA moves.
+  rt::RestoreHeap(jvm, snapshot);
+  jvm.set_collector(MakeArmCollector(config, machine, /*use_swapva=*/true));
+  jvm.collector().Collect(jvm);
+  result.swapped_bytes = jvm.collector().log().bytes_swapped.load();
+  if (config.drop_move) {
+    result.moves_dropped =
+        static_cast<DropMoveCollector&>(jvm.collector()).moves_dropped();
+  }
+  result.invariants_swap = registry.RunAll(jvm);
+  const HeapDigest swap_digest = DigestHeap(jvm);
+
+  // Arm B: identical collector, memmove only.
+  rt::RestoreHeap(jvm, snapshot);
+  jvm.set_collector(MakeArmCollector(config, machine, /*use_swapva=*/false));
+  jvm.collector().Collect(jvm);
+  result.invariants_copy = registry.RunAll(jvm);
+  const HeapDigest copy_digest = DigestHeap(jvm);
+
+  result.divergence = CompareDigests(swap_digest, copy_digest);
+  result.match = result.divergence.empty();
+  if (swap_digest.valid) {
+    result.objects = swap_digest.objects.size();
+    for (const DigestObject& obj : swap_digest.objects) {
+      result.live_bytes += obj.size;
+    }
+  }
+  return result;
+}
+
+}  // namespace svagc::verify

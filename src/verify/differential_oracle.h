@@ -1,0 +1,103 @@
+// Differential oracle: SwapVA compaction vs. the memmove baseline.
+//
+// The oracle builds one JVM, runs a workload until the heap has real
+// structure, snapshots it (runtime/heap_snapshot), then performs the same
+// forced GC cycle twice from that snapshot — once with SvagcCollector's
+// SwapVA moves, once with the identical collector in memmove-only mode —
+// and compares semantic digests of the two post-GC heaps: object stream,
+// reference graphs, payload contents, filler placement, roots, and top.
+//
+// The comparison is deliberately *semantic*, not byte-for-byte: SwapVA moves
+// whole pages, so the dead interior of a large object's tail page carries
+// the source page's old garbage, while memmove copies only the object's
+// bytes. Both heaps are correct; their dead bytes differ. Everything the
+// mutator can observe — sizes, types, references, payload words, root
+// targets, layout — must match exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/object.h"
+#include "verify/invariant_registry.h"
+
+namespace svagc::rt {
+class Jvm;
+}
+
+namespace svagc::verify {
+
+struct DigestObject {
+  rt::vaddr_t addr = 0;
+  std::uint64_t size = 0;
+  std::uint32_t type_id = 0;
+  std::uint32_t num_refs = 0;
+  std::vector<rt::vaddr_t> refs;
+  std::uint64_t payload_hash = 0;  // FNV-1a over the data payload
+
+  bool operator==(const DigestObject&) const = default;
+};
+
+struct HeapDigest {
+  // False when the heap does not even parse (bad filler/size words); the
+  // walk is defensive, never trusting the heap it inspects.
+  bool valid = true;
+  std::string error;
+  rt::vaddr_t top = 0;
+  std::vector<DigestObject> objects;
+  // (address, gap bytes) of every filler, in address order.
+  std::vector<std::pair<rt::vaddr_t, std::uint64_t>> fillers;
+  std::vector<rt::vaddr_t> roots;  // slot order, including null slots
+};
+
+// Walks [base, top) and digests every object and filler. Safe on corrupt
+// heaps: returns valid=false instead of looping or crashing.
+HeapDigest DigestHeap(rt::Jvm& jvm);
+
+// Empty string when equal; otherwise a description of the first divergence.
+std::string CompareDigests(const HeapDigest& swap_arm,
+                           const HeapDigest& copy_arm);
+
+struct OracleConfig {
+  std::string workload = "lrucache";
+  double heap_factor = 1.6;
+  unsigned gc_threads = 4;
+  unsigned machine_cores = 8;
+  // Iterations before the snapshot, so the heap holds a grown object graph
+  // (including garbage for the compared cycle to reclaim).
+  unsigned warmup_iterations = 6;
+  std::uint64_t swap_threshold_pages = 10;
+
+  // Salting: adds `large_object_salt` rooted large arrays behind an
+  // *unrooted* large spacer, guaranteeing the compared cycle performs
+  // genuinely displaced SwapVA moves even for workloads whose own objects
+  // are small. 0 = no salting (small-only shape).
+  unsigned large_object_salt = 0;
+  std::uint64_t salt_object_bytes = 24 * sim::kPageSize;
+
+  // Intentional-bug toggle: the swap arm silently drops the Nth displaced
+  // move (counting across all workers). The oracle must report a mismatch —
+  // this is the self-test proving the digest has teeth.
+  bool drop_move = false;
+  std::uint64_t drop_move_index = 0;
+};
+
+struct OracleResult {
+  bool match = false;
+  std::string divergence;  // empty iff match
+
+  // From the swap arm's digest/cycle, for assertions about coverage.
+  std::uint64_t objects = 0;
+  std::uint64_t live_bytes = 0;
+  std::uint64_t swapped_bytes = 0;
+  std::uint64_t moves_dropped = 0;
+
+  InvariantReport invariants_swap;
+  InvariantReport invariants_copy;
+};
+
+OracleResult RunDifferentialOracle(const OracleConfig& config);
+
+}  // namespace svagc::verify

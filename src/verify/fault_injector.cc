@@ -1,0 +1,82 @@
+#include "verify/fault_injector.h"
+
+namespace svagc::verify {
+
+namespace {
+
+// SplitMix64: decorrelates (seed, point, occurrence) into a uniform word for
+// probability-mode decisions.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void FaultInjector::Arm(sim::FaultPoint point, const FaultPlan& plan) {
+  PointState& state = state_[Index(point)];
+  state.armed.store(false, std::memory_order_release);
+  state.plan = plan;
+  state.occurrences.store(0, std::memory_order_relaxed);
+  state.fires.store(0, std::memory_order_relaxed);
+  state.armed.store(true, std::memory_order_release);
+}
+
+void FaultInjector::Disarm(sim::FaultPoint point) {
+  state_[Index(point)].armed.store(false, std::memory_order_release);
+}
+
+void FaultInjector::Reset() {
+  for (PointState& state : state_) {
+    state.armed.store(false, std::memory_order_release);
+    state.plan = FaultPlan{};
+    state.occurrences.store(0, std::memory_order_relaxed);
+    state.fires.store(0, std::memory_order_relaxed);
+  }
+}
+
+bool FaultInjector::ShouldFire(sim::FaultPoint point) {
+  PointState& state = state_[Index(point)];
+  // Count every opportunity, armed or not — tests use the counters to
+  // confirm a scenario actually reached the point.
+  const std::uint64_t n =
+      state.occurrences.fetch_add(1, std::memory_order_relaxed);
+  if (!state.armed.load(std::memory_order_acquire)) return false;
+  const FaultPlan& plan = state.plan;
+
+  bool selected;
+  if (plan.probability > 0.0) {
+    const std::uint64_t word =
+        Mix(seed_ ^ Mix(static_cast<std::uint64_t>(point) << 32 ^ n));
+    selected = static_cast<double>(word >> 11) * 0x1.0p-53 < plan.probability;
+  } else {
+    selected = n >= plan.first &&
+               (plan.every == 0 ? n == plan.first
+                                : (n - plan.first) % plan.every == 0);
+  }
+  if (!selected) return false;
+
+  if (plan.max_fires != 0) {
+    // Claim one of the max_fires slots; losers do not fire.
+    std::uint64_t fired = state.fires.load(std::memory_order_relaxed);
+    do {
+      if (fired >= plan.max_fires) return false;
+    } while (!state.fires.compare_exchange_weak(fired, fired + 1,
+                                                std::memory_order_relaxed));
+    return true;
+  }
+  state.fires.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::uint64_t FaultInjector::total_fires() const {
+  std::uint64_t total = 0;
+  for (const PointState& state : state_) {
+    total += state.fires.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace svagc::verify

@@ -1,0 +1,106 @@
+// Deterministic, seeded fault injection for the simulated kernel.
+//
+// The injector implements sim::FaultHook. Each FaultPoint keeps an atomic
+// occurrence counter; whether occurrence #n fires is a pure function of
+// (seed, point, n, plan), so a run is schedule-deterministic: however the
+// OS interleaves worker threads, the same syscall occurrences fire the same
+// faults. (Which *thread* performs occurrence #n can vary — what is
+// deterministic is the set of fired occurrences.)
+//
+// Usage in tests:
+//   verify::FaultInjector injector(/*seed=*/42);
+//   injector.Arm(sim::FaultPoint::kSwapVaFault, {.first = 2});
+//   verify::ScopedInjection hook(kernel, injector);   // attach, RAII detach
+//   ... run the scenario ...
+//
+// ScopedInjection detaches the hook AND resets the injector on destruction,
+// so armed faults cannot leak into a later test in the same binary (and a
+// deathtest child that aborts never mutates the parent's injector at all).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "simkernel/fault.h"
+#include "simkernel/swapva.h"
+
+namespace svagc::verify {
+
+// When an armed point fires, evaluated against that point's own occurrence
+// counter (0-based). Deterministic part: occurrence n fires iff
+//   n >= first  &&  (every == 0 ? n == first : (n - first) % every == 0)
+// and fewer than max_fires faults have fired so far. Alternatively a
+// probability in (0, 1] selects occurrences by a hash of (seed, point, n) —
+// still a pure function of the seed, not of thread timing.
+struct FaultPlan {
+  std::uint64_t first = 0;      // first occurrence eligible to fire
+  std::uint64_t every = 0;      // 0 = fire only at `first`; k = every k-th
+  std::uint64_t max_fires = 1;  // 0 = unlimited
+  double probability = 0.0;     // > 0 overrides the counter schedule
+};
+
+class FaultInjector : public sim::FaultHook {
+ public:
+  explicit FaultInjector(std::uint64_t seed = 0) : seed_(seed) {}
+
+  // Arms `point` with `plan`. Re-arming replaces the plan and zeroes the
+  // point's counters. Arm/Disarm while syscalls are in flight is a race —
+  // configure before the scenario runs.
+  void Arm(sim::FaultPoint point, const FaultPlan& plan);
+  void Disarm(sim::FaultPoint point);
+  // Disarms every point and zeroes all counters.
+  void Reset();
+
+  // sim::FaultHook: called by the kernel at each injection opportunity.
+  bool ShouldFire(sim::FaultPoint point) override;
+
+  // Observability (tests assert on these).
+  std::uint64_t occurrences(sim::FaultPoint point) const {
+    return state_[Index(point)].occurrences.load(std::memory_order_relaxed);
+  }
+  std::uint64_t fires(sim::FaultPoint point) const {
+    return state_[Index(point)].fires.load(std::memory_order_relaxed);
+  }
+  std::uint64_t total_fires() const;
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  struct PointState {
+    std::atomic<bool> armed{false};
+    FaultPlan plan;
+    std::atomic<std::uint64_t> occurrences{0};
+    std::atomic<std::uint64_t> fires{0};
+  };
+
+  static std::size_t Index(sim::FaultPoint point) {
+    return static_cast<std::size_t>(point);
+  }
+
+  std::uint64_t seed_;
+  std::array<PointState, sim::kNumFaultPoints> state_;
+};
+
+// Attaches `injector` to `kernel` for the current scope; on destruction
+// detaches it and calls injector.Reset(). Tests should always reach the
+// kernel hook through this guard.
+class ScopedInjection {
+ public:
+  ScopedInjection(sim::Kernel& kernel, FaultInjector& injector)
+      : kernel_(kernel), injector_(injector) {
+    kernel_.set_fault_hook(&injector_);
+  }
+  ~ScopedInjection() {
+    kernel_.set_fault_hook(nullptr);
+    injector_.Reset();
+  }
+  ScopedInjection(const ScopedInjection&) = delete;
+  ScopedInjection& operator=(const ScopedInjection&) = delete;
+
+ private:
+  sim::Kernel& kernel_;
+  FaultInjector& injector_;
+};
+
+}  // namespace svagc::verify

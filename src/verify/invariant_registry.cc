@@ -1,0 +1,87 @@
+#include "verify/invariant_registry.h"
+
+#include "runtime/jvm.h"
+#include "support/table.h"
+
+namespace svagc::verify {
+
+rt::VerifyResult CheckTlbCoherence(rt::Jvm& jvm) {
+  rt::VerifyResult result;
+  sim::Machine& machine = jvm.machine();
+  sim::PageTable& table = jvm.address_space().page_table();
+  const std::uint64_t asid = jvm.address_space().asid();
+  for (unsigned core = 0; core < machine.num_cores(); ++core) {
+    for (const sim::TlbSnapshotEntry& entry :
+         machine.tlb(core).SnapshotValidEntries()) {
+      if (entry.asid != asid) continue;
+      const auto mapped = table.Lookup(entry.vpn);
+      if (mapped.has_value() && *mapped == entry.frame) continue;
+      result.ok = false;
+      result.error = Format(
+          "core %u TLB maps vpn 0x%llx to frame %llu but the page table %s",
+          core, (unsigned long long)entry.vpn, (unsigned long long)entry.frame,
+          mapped.has_value()
+              ? Format("has frame %llu", (unsigned long long)*mapped).c_str()
+              : "has no mapping");
+      return result;
+    }
+  }
+  return result;
+}
+
+std::string InvariantReport::Describe() const {
+  if (ok) return Format("all %llu invariants ok", (unsigned long long)checks_run);
+  std::string out;
+  for (const InvariantFailure& failure : failures) {
+    if (!out.empty()) out += "; ";
+    out += failure.name + ": " + failure.error;
+  }
+  return out;
+}
+
+InvariantRegistry InvariantRegistry::Default() {
+  InvariantRegistry registry;
+  registry.Register("heap-tiling", rt::CheckHeapTiling);
+  registry.Register("page-extent-exclusivity", rt::CheckPageExtents);
+  registry.Register("reference-validity", rt::CheckReferences);
+  registry.Register("tlb-coherence", CheckTlbCoherence);
+  return registry;
+}
+
+void InvariantRegistry::Register(std::string name, CheckFn check) {
+  for (const Entry& entry : entries_) {
+    SVAGC_CHECK(entry.name != name);
+  }
+  entries_.push_back({std::move(name), std::move(check)});
+}
+
+InvariantReport InvariantRegistry::RunAll(rt::Jvm& jvm) const {
+  InvariantReport report;
+  for (const Entry& entry : entries_) {
+    const rt::VerifyResult result = entry.check(jvm);
+    ++report.checks_run;
+    if (!result.ok) {
+      report.ok = false;
+      report.failures.push_back({entry.name, result.error});
+    }
+  }
+  return report;
+}
+
+rt::VerifyResult InvariantRegistry::Run(const std::string& name,
+                                        rt::Jvm& jvm) const {
+  for (const Entry& entry : entries_) {
+    if (entry.name == name) return entry.check(jvm);
+  }
+  SVAGC_CHECK(false && "unknown invariant");
+  return {};
+}
+
+std::vector<std::string> InvariantRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Entry& entry : entries_) out.push_back(entry.name);
+  return out;
+}
+
+}  // namespace svagc::verify

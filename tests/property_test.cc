@@ -4,6 +4,7 @@
 // multi-JVM determinism.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <thread>
 
@@ -209,6 +210,37 @@ TEST(SwapVaProperty, AggregationIsSemanticallyTransparent) {
       ASSERT_EQ(sep_as.ReadWord(base + i * sim::kPageSize),
                 vec_as.ReadWord(base + i * sim::kPageSize))
           << "trial " << trial << " page " << i;
+    }
+  }
+}
+
+// Algorithm 2's gcd cycle-following rotation equals a reference std::rotate:
+// an overlapping swap of [lo, lo+P) with [lo+delta, lo+delta+P) rotates the
+// whole (P + delta)-page span left by delta — including the delta-page tail,
+// where the cycle structure is easiest to get wrong.
+TEST(SwapVaProperty, OverlapRotationMatchesStdRotate) {
+  Rng rng(23);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::uint64_t pages = 2 + rng.NextBelow(48);
+    const std::uint64_t delta = 1 + rng.NextBelow(pages - 1);
+    const std::uint64_t span = pages + delta;
+    SimBundle sim(1);
+    sim::AddressSpace as(sim.machine, sim.phys);
+    const sim::vaddr_t base = 1ULL << 32;
+    as.MapRange(base, span * sim::kPageSize);
+    std::vector<std::uint64_t> shadow(span);
+    for (std::uint64_t i = 0; i < span; ++i) {
+      shadow[i] = 7000 * (trial + 1) + i;  // distinct word per page
+      as.WriteWord(base + i * sim::kPageSize, shadow[i]);
+    }
+    sim::CpuContext ctx(sim.machine, 0);
+    sim.kernel.SysSwapVa(as, ctx, base, base + delta * sim::kPageSize, pages,
+                         sim::SwapVaOptions{});
+    std::rotate(shadow.begin(), shadow.begin() + delta, shadow.end());
+    for (std::uint64_t i = 0; i < span; ++i) {
+      ASSERT_EQ(as.ReadWord(base + i * sim::kPageSize), shadow[i])
+          << "trial " << trial << " pages " << pages << " delta " << delta
+          << " page " << i;
     }
   }
 }
