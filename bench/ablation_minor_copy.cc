@@ -59,7 +59,7 @@ int main() {
   TablePrinter table({"object size", "phase class", "memmove(kcyc)",
                       "SwapVA(kcyc)", "calls", "SwapVA no-PMD$(kcyc)",
                       "speedup"});
-  for (const std::uint64_t kb : {64u, 256u, 1024u}) {
+  for (const std::uint64_t kb : bench::SmokeSweep<std::uint64_t>({64, 256, 1024})) {
     for (const auto mode : {core::EvacuationMode::kMinorBatch,
                             core::EvacuationMode::kConcurrentSolo}) {
       const char* phase = mode == core::EvacuationMode::kMinorBatch
@@ -79,7 +79,7 @@ int main() {
                     Format("%.2fx", copy / swap)});
     }
   }
-  table.Print();
+  bench::Emit("ablation_minor_copy", table);
   std::printf(
       "\nTable I, demonstrated: SwapVA and PMD caching help both phase "
       "classes; aggregation (fewer calls) only exists in the minor batch — "

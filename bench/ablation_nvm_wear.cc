@@ -12,10 +12,12 @@ int main() {
   std::printf("== Ablation: GC-induced physical writes (NVM wear proxy) ==\n");
   TablePrinter table({"benchmark", "writes memmove(MiB)", "writes SwapVA(MiB)",
                       "reduction", "write-endurance gain"});
-  for (const char* name :
-       {"sigverify", "fft.large", "sparse.large", "sor.large.x10", "bisort"}) {
+  for (const std::string& name : bench::SmokeSweep<std::string>(
+           {"sigverify", "fft.large", "sparse.large", "sor.large.x10",
+            "bisort"})) {
     RunConfig config;
     config.workload = name;
+    config.iterations = bench::SmokeIterations(0);
     config.collector = CollectorKind::kSvagcNoSwap;
     const RunResult move = RunWorkload(config);
     config.collector = CollectorKind::kSvagc;
@@ -31,7 +33,7 @@ int main() {
          Format("%.2fx", static_cast<double>(move.physical_bytes_written) /
                              static_cast<double>(swap.physical_bytes_written))});
   }
-  table.Print();
+  bench::Emit("ablation_nvm_wear", table);
   std::printf(
       "\nnote: totals include allocation zeroing (identical on both sides); "
       "the delta is exactly the compaction copy traffic SwapVA removes, "

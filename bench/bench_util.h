@@ -2,13 +2,46 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "simkernel/cost_model.h"
 #include "support/table.h"
 #include "workloads/runner.h"
 
 namespace svagc::bench {
+
+inline bool EnvFlag(const char* name) {
+  const char* value = std::getenv(name);
+  return value != nullptr && value[0] != '\0' && value[0] != '0';
+}
+
+// SVAGC_BENCH_SMOKE=1 shrinks every harness's sweep to a seconds-long
+// validation run (the bench-smoke ctest); SVAGC_BENCH_JSON=1 switches table
+// output to one machine-checkable JSON line per table.
+inline bool SmokeMode() { return EnvFlag("SVAGC_BENCH_SMOKE"); }
+inline bool JsonMode() { return EnvFlag("SVAGC_BENCH_JSON"); }
+
+// Tables go through Emit so every harness honors SVAGC_BENCH_JSON.
+inline void Emit(const std::string& id, const TablePrinter& table) {
+  if (JsonMode()) {
+    table.PrintJson(id);
+  } else {
+    table.Print();
+  }
+}
+
+// Iteration count / sweep shrinkers for smoke mode.
+inline unsigned SmokeIterations(unsigned full, unsigned smoke = 2) {
+  return SmokeMode() ? smoke : full;
+}
+
+template <typename T>
+std::vector<T> SmokeSweep(std::vector<T> full) {
+  if (SmokeMode() && full.size() > 2) return {full.front(), full.back()};
+  return full;
+}
 
 // Every harness prints the cost-model profile it ran under so results are
 // auditable against simkernel/cost_model.cc.

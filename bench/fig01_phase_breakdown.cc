@@ -19,6 +19,7 @@ int main() {
     config.workload = name;
     config.collector = CollectorKind::kSerialLisp2;
     config.profile = &profile;
+    config.iterations = bench::SmokeIterations(0);  // 0 = workload default
     const RunResult r = RunWorkload(config);
     const rt::GcCycleRecord& sum = r.phase_sum;
     const double total = sum.Total();
@@ -30,7 +31,7 @@ int main() {
                   bench::Pct(100 * sum.other / total),
                   bench::Ms(total, profile)});
   }
-  table.Print();
+  bench::Emit("fig01", table);
   std::printf(
       "\npaper: compaction dominates — 79.33%% (Sparse.large) to 84.76%% "
       "(FFT.large) of full-GC time.\n");

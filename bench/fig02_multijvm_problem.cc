@@ -16,12 +16,12 @@ int main() {
                       "app growth", "GC growth"});
   double base_app = 0;
   double base_gc = 0;
-  for (unsigned jvms : {1u, 2u, 4u, 8u, 16u, 32u}) {
+  for (unsigned jvms : bench::SmokeSweep<unsigned>({1, 2, 4, 8, 16, 32})) {
     RunConfig config;
     config.workload = "lrucache";
     config.collector = CollectorKind::kParallelGc;
     config.profile = &profile;
-    config.iterations = 20;
+    config.iterations = bench::SmokeIterations(20);
     config.gc_threads = 4;  // paper: GCThreadsCount = 4 per JVM
     const auto results = RunMultiJvm(config, jvms);
     double app = 0;
@@ -43,7 +43,7 @@ int main() {
                   bench::Pct(100 * (app / base_app - 1)),
                   bench::Pct(100 * (gc_total / base_gc - 1))});
   }
-  table.Print();
+  bench::Emit("fig02", table);
   std::printf(
       "\npaper: with ParallelGC both GC latency (max and total) and app time "
       "increase significantly as JVMs are added.\n");

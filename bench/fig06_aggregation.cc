@@ -18,7 +18,8 @@ int main() {
   constexpr unsigned kObjects = 32;
   TablePrinter table({"pages/object", "separated(kcyc)", "aggregated(kcyc)",
                       "saving"});
-  for (const std::uint64_t pages : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+  for (const std::uint64_t pages :
+       bench::SmokeSweep<std::uint64_t>({1, 2, 4, 8, 16, 32, 64, 128})) {
     sim::Machine machine(1, profile);
     sim::Kernel kernel(machine);
     sim::PhysicalMemory phys((2 * kObjects * pages + 64) << sim::kPageShift);
@@ -46,7 +47,7 @@ int main() {
                   bench::Pct(100 * (1 - aggregated.account.total() /
                                             separated.account.total()))});
   }
-  table.Print();
+  bench::Emit("fig06", table);
   std::printf(
       "\npaper: one aggregated call replaces %u syscalls + flushes; the "
       "relative saving falls as pages/object rises.\n",

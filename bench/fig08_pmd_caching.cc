@@ -36,8 +36,8 @@ int main() {
       {"pages", "no cache(kcyc)", "PMD cache(kcyc)", "improvement"});
   Summary improvements;
   double best = 0;
-  for (const std::uint64_t pages :
-       {2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u, 512u, 1024u}) {
+  for (const std::uint64_t pages : bench::SmokeSweep<std::uint64_t>(
+           {2, 4, 8, 16, 32, 64, 128, 256, 512, 1024})) {
     const double without = SwapCycles(profile, pages, false);
     const double with_cache = SwapCycles(profile, pages, true);
     const double improvement = 100 * (1 - with_cache / without);
@@ -47,7 +47,7 @@ int main() {
                   Format("%.1f", without / 1e3),
                   Format("%.1f", with_cache / 1e3), bench::Pct(improvement)});
   }
-  table.Print();
+  bench::Emit("fig08", table);
   std::printf("measured: max %.2f%%, mean %.2f%%\n", best, improvements.mean());
   std::printf("paper:    max 52.48%%, mean 36.73%%\n");
   return 0;

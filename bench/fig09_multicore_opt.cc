@@ -56,7 +56,8 @@ int main() {
 
   TablePrinter table({"cores", "naive(kcyc)", "naive IPIs", "opt(kcyc)",
                       "opt IPIs", "IPI gain", "speedup"});
-  for (const unsigned cores : {1u, 2u, 4u, 8u, 16u, 32u}) {
+  for (const unsigned cores :
+       bench::SmokeSweep<unsigned>({1, 2, 4, 8, 16, 32})) {
     const Outcome naive = RunCompaction(profile, cores, false);
     const Outcome opt = RunCompaction(profile, cores, true);
     const double naive_total = naive.caller_cycles + naive.disturbance_cycles;
@@ -69,7 +70,7 @@ int main() {
          opt.ipis == 0 ? "inf" : Format("%.0fx", double(naive.ipis) / opt.ipis),
          Format("%.2fx", naive_total / opt_total)});
   }
-  table.Print();
+  bench::Emit("fig09", table);
   std::printf(
       "\npaper (Eq. 2): IPIs fall from l*c to c (gain = l = 100 here); the "
       "optimized cost stays nearly flat with core count.\n");

@@ -10,7 +10,7 @@ using namespace svagc;
 
 namespace {
 
-void Sweep(const sim::CostProfile& profile) {
+void Sweep(const char* id, const sim::CostProfile& profile) {
   bench::PrintProfileHeader(profile);
   sim::Machine machine(1, profile);
   sim::Kernel kernel(machine);
@@ -21,8 +21,8 @@ void Sweep(const sim::CostProfile& profile) {
 
   TablePrinter table({"pages", "memmove(kcyc)", "SwapVA(kcyc)", "winner"});
   std::uint64_t crossover = 0;
-  for (const std::uint64_t pages :
-       {1u, 2u, 4u, 6u, 8u, 10u, 12u, 16u, 24u, 32u, 48u, 64u}) {
+  for (const std::uint64_t pages : bench::SmokeSweep<std::uint64_t>(
+           {1, 2, 4, 6, 8, 10, 12, 16, 24, 32, 48, 64})) {
     const std::uint64_t bytes = pages << sim::kPageShift;
     sim::CpuContext copy_ctx(machine, 0);
     as.CopyBytes(copy_ctx, base, base + (256ULL << sim::kPageShift), bytes,
@@ -37,7 +37,7 @@ void Sweep(const sim::CostProfile& profile) {
                   Format("%.2f", copy / 1e3), Format("%.2f", swap / 1e3),
                   swap < copy ? "SwapVA" : "memmove"});
   }
-  table.Print();
+  bench::Emit(id, table);
   std::printf("measured crossover: %llu pages (paper: ~10 pages)\n\n",
               (unsigned long long)crossover);
 }
@@ -47,8 +47,8 @@ void Sweep(const sim::CostProfile& profile) {
 int main() {
   std::printf("== Fig. 10: SwapVA threshold, two machine configurations ==\n");
   std::printf("-- (a) Xeon Gold 6130, DDR4-2666 --\n");
-  Sweep(sim::ProfileXeonGold6130());
+  Sweep("fig10a", sim::ProfileXeonGold6130());
   std::printf("-- (b) Xeon Gold 6240, DDR4-2933 --\n");
-  Sweep(sim::ProfileXeonGold6240());
+  Sweep("fig10b", sim::ProfileXeonGold6240());
   return 0;
 }

@@ -32,7 +32,7 @@ void PrintTableI() {
     }
     table.AddRow(std::move(row));
   }
-  table.Print();
+  bench::Emit("tab01", table);
 }
 
 }  // namespace
@@ -48,10 +48,11 @@ int main(int argc, char** argv) {
 
   TablePrinter table({"benchmark", "memmove GC(ms)", "[compact|rest]",
                       "SwapVA GC(ms)", "[compact|rest]", "GC reduction"});
-  for (const std::string& name : EvaluationWorkloads()) {
+  for (const std::string& name : bench::SmokeSweep(EvaluationWorkloads())) {
     RunConfig config;
     config.workload = name;
     config.profile = &profile;
+    config.iterations = bench::SmokeIterations(0);
     config.collector = CollectorKind::kSvagcNoSwap;
     const RunResult base = RunWorkload(config);
     config.collector = CollectorKind::kSvagc;
@@ -69,7 +70,7 @@ int main(int argc, char** argv) {
                   bench::Pct(100 * (1 - swap.gc_total_cycles /
                                             base.gc_total_cycles))});
   }
-  table.Print();
+  bench::Emit("fig11", table);
   std::printf(
       "\npaper: reductions up to 70.9%% (Sparse.large/4) and 97%% "
       "(Sigverify); fewer+larger objects gain most, small-object benchmarks "

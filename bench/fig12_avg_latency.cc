@@ -17,11 +17,12 @@ int main() {
     TablePrinter table({"benchmark", "Shenandoah(ms)", "ParallelGC(ms)",
                         "SVAGC(ms)", "PGC/SVAGC", "Shen/SVAGC"});
     GeoMean pgc_ratio, shen_ratio;
-    for (const std::string& name : EvaluationWorkloads()) {
+    for (const std::string& name : bench::SmokeSweep(EvaluationWorkloads())) {
       RunConfig config;
       config.workload = name;
       config.profile = &profile;
       config.heap_factor = heap_factor;
+      config.iterations = bench::SmokeIterations(0);
 
       config.collector = CollectorKind::kShenandoah;
       const RunResult shen = RunWorkload(config);
@@ -41,7 +42,7 @@ int main() {
                     Format("%.2fx", pgc.gc_avg_cycles / svagc.gc_avg_cycles),
                     Format("%.2fx", shen.gc_avg_cycles / svagc.gc_avg_cycles)});
     }
-    table.Print();
+    bench::Emit(Format("fig12@%.1fx", heap_factor), table);
     std::printf("geomean: ParallelGC/SVAGC = %.2fx, Shenandoah/SVAGC = %.2fx\n",
                 pgc_ratio.Value(), shen_ratio.Value());
     std::printf("paper:   %s\n\n",

@@ -16,12 +16,12 @@ int main() {
                       "GC growth", "IPIs"});
   double base_app = 0;
   double base_gc = 0;
-  for (const unsigned jvms : {1u, 2u, 4u, 8u, 16u, 32u}) {
+  for (const unsigned jvms : bench::SmokeSweep<unsigned>({1, 2, 4, 8, 16, 32})) {
     RunConfig config;
     config.workload = "lrucache";
     config.collector = CollectorKind::kSvagc;
     config.profile = &profile;
-    config.iterations = 20;
+    config.iterations = bench::SmokeIterations(20);
     config.gc_threads = 4;  // paper: GCThreadsCount = 4 per JVM
     const auto results = RunMultiJvm(config, jvms);
     double app = 0;
@@ -44,7 +44,7 @@ int main() {
                   bench::Pct(100 * (gc / base_gc - 1)),
                   Format("%llu", (unsigned long long)ipis)});
   }
-  table.Print();
+  bench::Emit("fig14", table);
   std::printf(
       "\npaper: at 32 JVMs application time +327.5%% while GC time only "
       "+52%%.\n");

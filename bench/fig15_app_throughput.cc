@@ -15,10 +15,11 @@ int main() {
 
   TablePrinter table({"benchmark", "memmove(ops/s)", "SwapVA(ops/s)",
                       "improvement", "GC share (memmove)"});
-  for (const std::string& name : EvaluationWorkloads()) {
+  for (const std::string& name : bench::SmokeSweep(EvaluationWorkloads())) {
     RunConfig config;
     config.workload = name;
     config.profile = &profile;
+    config.iterations = bench::SmokeIterations(0);
     config.collector = CollectorKind::kSvagcNoSwap;
     const RunResult base = RunWorkload(config);
     config.collector = CollectorKind::kSvagc;
@@ -29,7 +30,7 @@ int main() {
          bench::Pct(100 * (swap.throughput_ops / base.throughput_ops - 1)),
          bench::Pct(100 * base.gc_total_cycles / base.app_cycles)});
   }
-  table.Print();
+  bench::Emit("fig15", table);
   std::printf(
       "\npaper: 15.2%% (CryptoAES) to 86.9%% (Sparse.large); gains track how "
       "much of the run the GC occupies.\n");

@@ -18,11 +18,12 @@ int main() {
     TablePrinter table({"benchmark", "Shenandoah(ops/s)", "ParallelGC(ops/s)",
                         "SVAGC(ops/s)", "vs PGC", "vs Shen"});
     Summary vs_pgc, vs_shen;
-    for (const std::string& name : EvaluationWorkloads()) {
+    for (const std::string& name : bench::SmokeSweep(EvaluationWorkloads())) {
       RunConfig config;
       config.workload = name;
       config.profile = &profile;
       config.heap_factor = heap_factor;
+      config.iterations = bench::SmokeIterations(0);
 
       config.collector = CollectorKind::kShenandoah;
       const RunResult shen = RunWorkload(config);
@@ -42,7 +43,7 @@ int main() {
                     Format("%.1f", svagc.throughput_ops), bench::Pct(dpgc),
                     bench::Pct(dshen)});
     }
-    table.Print();
+    bench::Emit(Format("fig16@%.1fx", heap_factor), table);
     std::printf("mean improvement: vs ParallelGC %.2f%%, vs Shenandoah %.2f%%\n",
                 vs_pgc.mean(), vs_shen.mean());
     std::printf("paper:            %s\n\n",

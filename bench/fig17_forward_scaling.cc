@@ -1,0 +1,75 @@
+// Fig. 17 (extension): scaling of the phase II/IV parallelization — the
+// region-summary forwarding pipeline vs the serial reference summary, and
+// the dependency-aware work-stealing compaction scheduler vs static
+// contiguous blocks, on the mixed small/large LRU-cache heap. Expected:
+// parallel forwarding >= 2x at 8 threads; work stealing no worse than
+// static blocks at every thread count.
+#include "bench/bench_util.h"
+
+using namespace svagc;
+using namespace svagc::workloads;
+
+namespace {
+
+workloads::RunResult RunArm(const sim::CostProfile& profile, unsigned threads,
+                            gc::ForwardingMode forwarding,
+                            gc::CompactionSchedulerKind scheduler) {
+  RunConfig config;
+  config.workload = "lrucache";
+  config.collector = CollectorKind::kSvagc;
+  config.profile = &profile;
+  config.iterations = bench::SmokeIterations(20);
+  config.gc_threads = threads;
+  config.forwarding = forwarding;
+  config.compaction_scheduler = scheduler;
+  return RunWorkload(config);
+}
+
+}  // namespace
+
+int main() {
+  const sim::CostProfile& profile = sim::ProfileXeonGold6130();
+  std::printf(
+      "== Fig. 17: forwarding & compaction-scheduler scaling (LRUCache) ==\n");
+  bench::PrintProfileHeader(profile);
+
+  TablePrinter table({"threads", "fwd serial(ms)", "fwd parallel(ms)",
+                      "fwd speedup", "compact static(ms)", "compact steal(ms)",
+                      "compact speedup", "GC total(ms)"});
+  double speedup_at_8 = 0;
+  for (const unsigned threads :
+       bench::SmokeSweep<unsigned>({1, 2, 4, 8, 16})) {
+    // Arm 1: the legacy configuration (serial summary, static blocks).
+    const RunResult legacy =
+        RunArm(profile, threads, gc::ForwardingMode::kSerial,
+               gc::CompactionSchedulerKind::kStaticBlocks);
+    // Arm 2: parallel summary, static blocks (isolates phase II).
+    const RunResult par_static =
+        RunArm(profile, threads, gc::ForwardingMode::kParallelSummary,
+               gc::CompactionSchedulerKind::kStaticBlocks);
+    // Arm 3: production — parallel summary + work stealing.
+    const RunResult par_steal =
+        RunArm(profile, threads, gc::ForwardingMode::kParallelSummary,
+               gc::CompactionSchedulerKind::kWorkStealing);
+
+    const double fwd_speedup =
+        legacy.phase_sum.forward / par_static.phase_sum.forward;
+    if (threads == 8) speedup_at_8 = fwd_speedup;
+    table.AddRow({Format("%u", threads),
+                  bench::Ms(legacy.phase_sum.forward, profile),
+                  bench::Ms(par_static.phase_sum.forward, profile),
+                  Format("%.2fx", fwd_speedup),
+                  bench::Ms(par_static.phase_sum.compact, profile),
+                  bench::Ms(par_steal.phase_sum.compact, profile),
+                  Format("%.2fx", par_static.phase_sum.compact /
+                                      par_steal.phase_sum.compact),
+                  bench::Ms(par_steal.gc_total_cycles, profile)});
+  }
+  bench::Emit("fig17", table);
+  std::printf(
+      "\ntarget: parallel region-summary forwarding >= 2x the serial summary "
+      "at 8 threads (measured %.2fx); the work-stealing scheduler is never "
+      "slower than static blocks.\n",
+      speedup_at_8);
+  return 0;
+}

@@ -1,0 +1,232 @@
+// Bench smoke harness: runs every figure/table binary in smoke mode
+// (SVAGC_BENCH_SMOKE=1 shrinks sweeps to seconds, SVAGC_BENCH_JSON=1
+// switches tables to JSON lines) and validates that each one exits cleanly
+// and prints at least one well-formed JSON table with an "id" field. Wired
+// as the `bench_smoke` ctest and the `bench-smoke` build target, so bench
+// bit-rot fails CI instead of being discovered at figure-regeneration time.
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace {
+
+// Minimal validating JSON parser — accepts exactly the RFC 8259 grammar the
+// TablePrinter emits; rejects trailing garbage.
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    pos_ = 0;
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') return ++pos_, true;
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') return ++pos_, true;
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') return ++pos_, true;
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') return ++pos_, true;
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') return ++pos_, true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() || !std::isxdigit(
+                    static_cast<unsigned char>(text_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (std::strchr("\"\\/bfnrt", esc) == nullptr) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool Number() {
+    const std::size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    if (Peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    return pos_ > start && std::isdigit(static_cast<unsigned char>(
+                               text_[pos_ - 1]));
+  }
+
+  bool Literal(const char* word) {
+    const std::size_t len = std::strlen(word);
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+struct BenchOutcome {
+  bool ran_ok = false;
+  unsigned json_tables = 0;
+  unsigned malformed = 0;
+};
+
+BenchOutcome RunBench(const std::string& dir, const char* name) {
+  BenchOutcome outcome;
+  const std::string cmd = dir + "/" + name + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return outcome;
+  std::string line;
+  char buf[4096];
+  while (std::fgets(buf, sizeof buf, pipe) != nullptr) {
+    line = buf;
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    // Table lines are the ones starting with '{'; prose headers/footers are
+    // allowed to pass through untouched.
+    if (line.empty() || line[0] != '{') continue;
+    if (JsonValidator(line).Valid() &&
+        line.find("\"id\": ") != std::string::npos) {
+      ++outcome.json_tables;
+    } else {
+      ++outcome.malformed;
+    }
+  }
+  outcome.ran_ok = pclose(pipe) == 0;
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : ".";
+  setenv("SVAGC_BENCH_SMOKE", "1", 1);
+  setenv("SVAGC_BENCH_JSON", "1", 1);
+
+  // Every table-printing harness; micro_swapva (google-benchmark) excluded.
+  const char* const benches[] = {
+      "fig01_phase_breakdown",
+      "fig02_multijvm_problem",
+      "fig06_aggregation",
+      "fig08_pmd_caching",
+      "fig09_multicore_opt",
+      "fig10_threshold",
+      "fig11_gc_time",
+      "fig12_avg_latency",
+      "fig13_max_latency",
+      "fig14_svagc_scalability",
+      "fig15_app_throughput",
+      "fig16_throughput_vs_baselines",
+      "fig17_forward_scaling",
+      "tab02_config",
+      "tab03_cache_dtlb",
+      "ablation_minor_copy",
+      "ablation_nvm_wear",
+      "summary",
+  };
+
+  unsigned failures = 0;
+  for (const char* name : benches) {
+    const BenchOutcome outcome = RunBench(dir, name);
+    const bool ok =
+        outcome.ran_ok && outcome.json_tables >= 1 && outcome.malformed == 0;
+    std::printf("[%s] %-32s tables=%u malformed=%u%s\n", ok ? "ok" : "FAIL",
+                name, outcome.json_tables, outcome.malformed,
+                outcome.ran_ok ? "" : " (non-zero exit)");
+    if (!ok) ++failures;
+  }
+  if (failures != 0) {
+    std::printf("%u bench harness(es) failed smoke validation\n", failures);
+    return 1;
+  }
+  std::printf("all %zu bench harnesses emitted valid JSON in smoke mode\n",
+              sizeof benches / sizeof benches[0]);
+  return 0;
+}

@@ -14,6 +14,7 @@ double GcTotal(const char* workload, CollectorKind kind) {
   RunConfig config;
   config.workload = workload;
   config.collector = kind;
+  config.iterations = bench::SmokeIterations(0);
   return RunWorkload(config).gc_total_cycles;
 }
 
@@ -60,9 +61,10 @@ int main() {
   }
   {
     GeoMean pgc_ratio, shen_ratio;
-    for (const std::string& name : EvaluationWorkloads()) {
+    for (const std::string& name : bench::SmokeSweep(EvaluationWorkloads())) {
       RunConfig config;
       config.workload = name;
+      config.iterations = bench::SmokeIterations(0);
       config.collector = CollectorKind::kSvagc;
       const double svagc = RunWorkload(config).gc_avg_cycles;
       config.collector = CollectorKind::kParallelGc;
@@ -79,7 +81,7 @@ int main() {
     RunConfig config;
     config.workload = "lrucache";
     config.collector = CollectorKind::kSvagc;
-    config.iterations = 20;
+    config.iterations = bench::SmokeIterations(20);
     config.gc_threads = 4;
     auto mean = [](const std::vector<RunResult>& rs, bool gc) {
       double total = 0;
@@ -94,8 +96,9 @@ int main() {
                   bench::Pct(100 * (mean(many, true) / mean(one, true) - 1))});
   }
 
-  table.Print();
+  bench::Emit("summary", table);
   std::printf(
-      "\nfull sweeps: build/bench/fig01..fig16, tab02, tab03, ablations.\n");
+      "\nfull sweeps: build/bench/fig01..fig17, tab02, tab03, ablations "
+      "(fig17 = forwarding/compaction scheduler scaling).\n");
   return 0;
 }

@@ -45,7 +45,7 @@ int main() {
              ? Format("%.1f KiB", info.avg_object_bytes / 1024.0)
              : Format("%llu B", (unsigned long long)info.avg_object_bytes)});
   }
-  table.Print();
+  bench::Emit("tab02", table);
   std::printf(
       "\nscaling: logical threads = paper threads / 16; live sets scaled to "
       "laptop size with per-object sizes preserved (the variable SwapVA's "

@@ -28,6 +28,7 @@ MissRates Measure(const std::string& workload, CollectorKind collector,
   config.workload = workload;
   config.collector = collector;
   config.heap_factor = heap_factor;
+  config.iterations = bench::SmokeIterations(0);
   config.trace = &hierarchy;
   (void)RunWorkload(config);
   return {hierarchy.LlcMissRatePercent(), hierarchy.DtlbMissRatePercent()};
@@ -44,7 +45,7 @@ int main() {
   GeoMean gm_cache_move, gm_cache_swap, gm_dtlb_move, gm_dtlb_swap;
   double mins[4] = {1e9, 1e9, 1e9, 1e9};
   double maxs[4] = {0, 0, 0, 0};
-  for (const std::string& name : EvaluationWorkloads()) {
+  for (const std::string& name : bench::SmokeSweep(EvaluationWorkloads())) {
     const MissRates move12 = Measure(name, CollectorKind::kSvagcNoSwap, 1.2);
     const MissRates move20 = Measure(name, CollectorKind::kSvagcNoSwap, 2.0);
     const MissRates swap12 = Measure(name, CollectorKind::kSvagc, 1.2);
@@ -74,7 +75,7 @@ int main() {
                 Format("%.2f", gm_cache_swap.Value()),
                 Format("%.3f", gm_dtlb_move.Value()),
                 Format("%.3f", gm_dtlb_swap.Value())});
-  table.Print();
+  bench::Emit("tab03", table);
   std::printf(
       "\npaper (1.2x heap): geomean cache misses 69.32%% (memmove) vs "
       "65.71%% (SwapVA); DTLB 1.28%% vs 0.52%%.\n");

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig17_forward_scaling.cc" "bench/CMakeFiles/fig17_forward_scaling.dir/fig17_forward_scaling.cc.o" "gcc" "bench/CMakeFiles/fig17_forward_scaling.dir/fig17_forward_scaling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/svagc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svagc_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svagc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svagc_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svagc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svagc_simkernel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

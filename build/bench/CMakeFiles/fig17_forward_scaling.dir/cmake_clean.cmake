@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_forward_scaling.dir/fig17_forward_scaling.cc.o"
+  "CMakeFiles/fig17_forward_scaling.dir/fig17_forward_scaling.cc.o.d"
+  "fig17_forward_scaling"
+  "fig17_forward_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_forward_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoke_runner.dir/smoke_runner.cc.o"
+  "CMakeFiles/smoke_runner.dir/smoke_runner.cc.o.d"
+  "smoke_runner"
+  "smoke_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoke_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -263,5 +263,6 @@ examples/CMakeFiles/multi_jvm_sim.dir/multi_jvm_sim.cpp.o: \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/thread /root/repo/src/gc/forwarding.h \
- /root/repo/src/gc/mark.h /root/repo/src/workloads/workload.h \
+ /root/repo/src/gc/mark.h /root/repo/src/support/ws_deque.h \
+ /root/repo/src/workloads/workload.h \
  /root/repo/src/runtime/heap_verifier.h /root/repo/src/support/rng.h

@@ -262,4 +262,5 @@ examples/CMakeFiles/spmv_analytics.dir/spmv_analytics.cpp.o: \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/thread /root/repo/src/gc/forwarding.h \
- /root/repo/src/gc/mark.h /root/repo/src/support/rng.h
+ /root/repo/src/gc/mark.h /root/repo/src/support/ws_deque.h \
+ /root/repo/src/support/rng.h

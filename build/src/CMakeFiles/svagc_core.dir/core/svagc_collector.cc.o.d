@@ -262,4 +262,4 @@ src/CMakeFiles/svagc_core.dir/core/svagc_collector.cc.o: \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/thread /root/repo/src/gc/forwarding.h \
- /root/repo/src/gc/mark.h
+ /root/repo/src/gc/mark.h /root/repo/src/support/ws_deque.h

@@ -262,6 +262,7 @@ src/CMakeFiles/svagc_verify.dir/verify/differential_oracle.cc.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/thread /root/repo/src/gc/forwarding.h \
- /root/repo/src/gc/mark.h /root/repo/src/runtime/heap_snapshot.h \
- /root/repo/src/support/table.h /usr/include/c++/12/cstdarg \
- /root/repo/src/workloads/workload.h /root/repo/src/support/rng.h
+ /root/repo/src/gc/mark.h /root/repo/src/support/ws_deque.h \
+ /root/repo/src/runtime/heap_snapshot.h /root/repo/src/support/table.h \
+ /usr/include/c++/12/cstdarg /root/repo/src/workloads/workload.h \
+ /root/repo/src/support/rng.h

@@ -344,6 +344,9 @@ tests/CMakeFiles/concurrency_test.dir/concurrency_test.cc.o: \
  /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/mutex \
  /root/repo/src/gc/forwarding.h /root/repo/src/gc/mark.h \
- /root/repo/src/runtime/heap_verifier.h /root/repo/src/support/rng.h \
- /root/repo/tests/test_util.h /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h
+ /root/repo/src/support/ws_deque.h /root/repo/src/runtime/heap_verifier.h \
+ /root/repo/src/support/rng.h /root/repo/tests/test_util.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/verify/differential_oracle.h \
+ /root/repo/src/verify/invariant_registry.h

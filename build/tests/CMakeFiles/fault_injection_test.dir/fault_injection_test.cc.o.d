@@ -342,8 +342,8 @@ tests/CMakeFiles/fault_injection_test.dir/fault_injection_test.cc.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/thread /root/repo/src/gc/forwarding.h \
- /root/repo/src/gc/mark.h /root/repo/tests/test_util.h \
- /usr/include/c++/12/unordered_set \
+ /root/repo/src/gc/mark.h /root/repo/src/support/ws_deque.h \
+ /root/repo/tests/test_util.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/verify/differential_oracle.h \
  /root/repo/src/verify/invariant_registry.h \

@@ -342,6 +342,7 @@ tests/CMakeFiles/gc_phases_test.dir/gc_phases_test.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/thread /root/repo/src/gc/lisp2.h \
  /root/repo/src/gc/mark.h /root/repo/src/gc/parallel_lisp2.h \
- /root/repo/src/runtime/heap_verifier.h /root/repo/src/support/rng.h \
- /root/repo/tests/test_util.h /usr/include/c++/12/unordered_set \
+ /root/repo/src/support/ws_deque.h /root/repo/src/runtime/heap_verifier.h \
+ /root/repo/src/support/rng.h /root/repo/tests/test_util.h \
+ /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h

@@ -342,8 +342,9 @@ tests/CMakeFiles/integration_test.dir/integration_test.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/thread /root/repo/src/gc/forwarding.h \
  /root/repo/src/gc/mark.h /root/repo/src/gc/parallel_gc.h \
- /root/repo/src/gc/parallel_lisp2.h /root/repo/src/gc/shenandoah_gc.h \
- /root/repo/tests/test_util.h /usr/include/c++/12/unordered_set \
+ /root/repo/src/gc/parallel_lisp2.h /root/repo/src/support/ws_deque.h \
+ /root/repo/src/gc/shenandoah_gc.h /root/repo/tests/test_util.h \
+ /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/workloads/runner.h /root/repo/src/core/svagc_collector.h \
  /root/repo/src/core/move_object.h /root/repo/src/workloads/workload.h \

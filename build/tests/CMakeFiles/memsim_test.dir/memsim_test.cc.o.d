@@ -295,4 +295,5 @@ tests/CMakeFiles/memsim_test.dir/memsim_test.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/memsim/hierarchy.h /root/repo/src/memsim/cache.h \
  /root/repo/src/support/check.h /root/repo/src/memsim/dtlb.h \
- /root/repo/src/simkernel/config.h /root/repo/src/simkernel/trace.h
+ /root/repo/src/simkernel/config.h /root/repo/src/simkernel/trace.h \
+ /root/repo/src/support/spin_lock.h

@@ -347,5 +347,5 @@ tests/CMakeFiles/property_test.dir/property_test.cc.o: \
  /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/mutex \
  /root/repo/src/gc/forwarding.h /root/repo/src/gc/mark.h \
- /root/repo/src/workloads/workload.h \
+ /root/repo/src/support/ws_deque.h /root/repo/src/workloads/workload.h \
  /root/repo/src/runtime/heap_verifier.h

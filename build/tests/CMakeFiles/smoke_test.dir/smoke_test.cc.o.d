@@ -343,5 +343,6 @@ tests/CMakeFiles/smoke_test.dir/smoke_test.cc.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/thread /root/repo/src/gc/forwarding.h \
- /root/repo/src/gc/mark.h /root/repo/src/workloads/workload.h \
+ /root/repo/src/gc/mark.h /root/repo/src/support/ws_deque.h \
+ /root/repo/src/workloads/workload.h \
  /root/repo/src/runtime/heap_verifier.h /root/repo/src/support/rng.h

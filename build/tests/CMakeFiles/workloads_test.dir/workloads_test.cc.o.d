@@ -296,10 +296,10 @@ tests/CMakeFiles/workloads_test.dir/workloads_test.cc.o: \
  /root/repo/src/memsim/hierarchy.h /root/repo/src/memsim/cache.h \
  /root/repo/src/support/check.h /root/repo/src/memsim/dtlb.h \
  /root/repo/src/simkernel/config.h /root/repo/src/simkernel/trace.h \
- /root/repo/src/workloads/runner.h /root/repo/src/core/svagc_collector.h \
- /root/repo/src/core/move_object.h /root/repo/src/runtime/jvm.h \
- /root/repo/src/runtime/heap.h /root/repo/src/runtime/object.h \
- /root/repo/src/simkernel/address_space.h \
+ /root/repo/src/support/spin_lock.h /root/repo/src/workloads/runner.h \
+ /root/repo/src/core/svagc_collector.h /root/repo/src/core/move_object.h \
+ /root/repo/src/runtime/jvm.h /root/repo/src/runtime/heap.h \
+ /root/repo/src/runtime/object.h /root/repo/src/simkernel/address_space.h \
  /root/repo/src/simkernel/machine.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
@@ -323,7 +323,7 @@ tests/CMakeFiles/workloads_test.dir/workloads_test.cc.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/simkernel/cost_model.h /root/repo/src/simkernel/tlb.h \
- /root/repo/src/support/spin_lock.h /root/repo/src/simkernel/page_table.h \
+ /root/repo/src/simkernel/page_table.h \
  /root/repo/src/simkernel/phys_mem.h /root/repo/src/support/align.h \
  /root/repo/src/runtime/roots.h /root/repo/src/runtime/tlab.h \
  /root/repo/src/simkernel/swapva.h /usr/include/c++/12/span \
@@ -343,5 +343,6 @@ tests/CMakeFiles/workloads_test.dir/workloads_test.cc.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/thread /root/repo/src/gc/forwarding.h \
- /root/repo/src/gc/mark.h /root/repo/src/workloads/workload.h \
+ /root/repo/src/gc/mark.h /root/repo/src/support/ws_deque.h \
+ /root/repo/src/workloads/workload.h \
  /root/repo/src/runtime/heap_verifier.h /root/repo/src/support/rng.h

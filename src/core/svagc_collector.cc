@@ -48,28 +48,18 @@ MoveObjectStats SvagcCollector::AggregateMoveStats() const {
 }
 
 void SvagcCollector::MoveObject(rt::Jvm& jvm, sim::CpuContext& ctx,
-                                const gc::Move& move) {
+                                unsigned worker, const gc::Move& move) {
+  // The scheduler hands us the gang worker id, so mover lookup is O(1) on
+  // this hottest per-object path (it used to scan every worker context).
   ctx.account.Charge(sim::CostKind::kCompute, costs().move_dispatch);
-  // Identify the worker by its context (each worker owns one CpuContext).
-  unsigned worker = 0;
-  for (unsigned i = 0; i < gc_threads(); ++i) {
-    if (&worker_ctx(i) == &ctx) {
-      worker = i;
-      break;
-    }
-  }
   MoverFor(jvm, worker).Move(ctx, move.src, move.dst, move.size);
   ++log_.objects_moved;
 }
 
-void SvagcCollector::FlushMoves(rt::Jvm& jvm, sim::CpuContext& ctx) {
+void SvagcCollector::FlushMoves(rt::Jvm& jvm, sim::CpuContext& ctx,
+                                unsigned worker) {
   if (movers_jvm_ != &jvm) return;
-  for (unsigned i = 0; i < gc_threads(); ++i) {
-    if (&worker_ctx(i) == &ctx && movers_[i]) {
-      movers_[i]->Flush(ctx);
-      return;
-    }
-  }
+  if (movers_[worker]) movers_[worker]->Flush(ctx);
 }
 
 void SvagcCollector::CompactionPrologue(rt::Jvm& jvm, sim::CpuContext& ctx) {

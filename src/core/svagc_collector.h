@@ -40,9 +40,10 @@ class SvagcCollector : public gc::ParallelLisp2 {
   std::uint64_t pin_refusals() const { return pin_refusals_; }
 
  protected:
-  void MoveObject(rt::Jvm& jvm, sim::CpuContext& ctx,
+  void MoveObject(rt::Jvm& jvm, sim::CpuContext& ctx, unsigned worker,
                   const gc::Move& move) override;
-  void FlushMoves(rt::Jvm& jvm, sim::CpuContext& ctx) override;
+  void FlushMoves(rt::Jvm& jvm, sim::CpuContext& ctx,
+                  unsigned worker) override;
   void CompactionPrologue(rt::Jvm& jvm, sim::CpuContext& ctx) override;
   void CompactionEpilogue(rt::Jvm& jvm, sim::CpuContext& ctx) override;
 

@@ -21,6 +21,8 @@ struct Move {
   rt::vaddr_t dst = 0;
   std::uint64_t size = 0;
   bool large = false;  // >= Threshold_Swapping pages (page-aligned dst)
+
+  bool operator==(const Move&) const = default;
 };
 
 // Full compaction plan for one GC cycle.

@@ -70,6 +70,196 @@ ForwardingResult ComputeForwarding(rt::Jvm& jvm, const MarkBitmap& bitmap,
   return result;
 }
 
+namespace {
+
+// Step-1 reduction of one region. The destination layout of a region's live
+// objects depends on the region's (unknown) destination base only *until*
+// the first large object: small objects pack with no alignment, and the
+// first large object lands at AlignUp(entry + s0, page). Every subsequent
+// alignment decision is taken relative to that page-aligned base, so the
+// rest of the layout is entry-independent and can be precomputed as a fixed
+// byte count (`tail`). This is what makes an O(regions) prefix scan able to
+// reproduce Algorithm 3's address assignment exactly.
+struct RegionSummary {
+  std::uint64_t small_prefix = 0;  // live bytes before the first large object
+  bool has_large = false;
+  std::uint64_t tail = 0;  // bytes from the first large object's page-aligned
+                           // destination to the region's layout end
+  std::uint64_t live_objects = 0;
+  std::uint64_t live_bytes = 0;
+};
+
+}  // namespace
+
+ForwardingResult ComputeForwardingParallel(rt::Jvm& jvm,
+                                           const MarkBitmap& bitmap,
+                                           CollectorBase& collector,
+                                           std::uint64_t region_bytes,
+                                           bool evacuate_all_live,
+                                           double* critical_path) {
+  ForwardingResult result;
+  rt::Heap& heap = jvm.heap();
+  sim::AddressSpace& as = jvm.address_space();
+  const GcCosts& costs = collector.costs();
+  CompactionPlan& plan = result.plan;
+  plan.region_bytes = region_bytes;
+  const std::uint64_t num_regions = CeilDiv(heap.capacity(), region_bytes);
+  plan.region_moves.resize(num_regions);
+  plan.region_dep.assign(num_regions, kNoDep);
+
+  const rt::vaddr_t base = heap.base();
+  const rt::vaddr_t top = heap.top();
+  const std::uint64_t used_regions = CeilDiv(top - base, region_bytes);
+  const unsigned stride = collector.gc_threads();
+  double cp = 0;
+
+  auto region_of = [&](rt::vaddr_t addr) {
+    return (addr - base) / region_bytes;
+  };
+  auto region_begin = [&](std::uint64_t r) { return base + r * region_bytes; };
+  auto region_end = [&](std::uint64_t r) {
+    return std::min<rt::vaddr_t>(base + (r + 1) * region_bytes, top);
+  };
+
+  // Step 1: parallel per-region summary sweep over the mark bitmap. Regions
+  // are assigned round-robin (worker w takes w, w+stride, ...): live data
+  // clusters at the low end of the heap after previous compactions, so
+  // striding spreads the dense regions across workers where contiguous
+  // blocks would hand them all to worker 0. The assignment is a pure
+  // function of (region, stride) — deterministic on any host.
+  std::vector<RegionSummary> summaries(used_regions);
+  cp += collector.RunParallelPhase([&](unsigned worker,
+                                       sim::CpuContext& ctx) {
+    for (std::uint64_t r = worker; r < used_regions; r += stride) {
+      const rt::vaddr_t lo = region_begin(r);
+      const rt::vaddr_t hi = region_end(r);
+      ctx.account.Charge(sim::CostKind::kCompute,
+                         costs.heap_scan_per_byte *
+                             static_cast<double>(hi - lo));
+      RegionSummary& s = summaries[r];
+      std::uint64_t off = 0;  // layout offset past the first large object
+      bitmap.ForEachMarkedInRange(lo, hi, [&](rt::vaddr_t addr) {
+        ctx.account.Charge(sim::CostKind::kCompute, costs.forward_summary_obj);
+        const std::uint64_t size = rt::ObjectView(as, addr).size();
+        ++s.live_objects;
+        s.live_bytes += size;
+        if (!s.has_large) {
+          if (heap.IsLargeObject(size)) {
+            s.has_large = true;
+            // The first large object sits at tail offset 0 (its destination
+            // is the page-aligned base itself); post-align after it.
+            off = AlignUp(size, sim::kPageSize);
+          } else {
+            s.small_prefix += size;
+          }
+        } else {
+          // Offsets are relative to a page-aligned base, so AlignFor
+          // commutes with adding the base.
+          const std::uint64_t dst_off =
+              heap.IsLargeObject(size) ? AlignUp(off, sim::kPageSize) : off;
+          off = dst_off + size;
+          if (heap.IsLargeObject(size)) off = AlignUp(off, sim::kPageSize);
+        }
+      });
+      s.tail = off;
+    }
+  });
+
+  // Step 2: serial exclusive prefix scan — each region's destination base is
+  // the previous region's layout exit. O(regions) arithmetic, the only
+  // serial residue of the phase.
+  std::vector<rt::vaddr_t> entries(used_regions + 1);
+  cp += collector.RunSerialPhase([&](sim::CpuContext& ctx) {
+    rt::vaddr_t entry = base;
+    for (std::uint64_t r = 0; r < used_regions; ++r) {
+      ctx.account.Charge(sim::CostKind::kCompute, costs.forward_region);
+      entries[r] = entry;
+      const RegionSummary& s = summaries[r];
+      entry = s.has_large
+                  ? AlignUp(entry + s.small_prefix, sim::kPageSize) + s.tail
+                  : entry + s.small_prefix;
+      plan.live_objects += s.live_objects;
+      plan.live_bytes += s.live_bytes;
+    }
+    entries[used_regions] = entry;
+    plan.new_top = entry;
+  });
+
+  // Step 3: parallel install — every region replays Algorithm 3 from its
+  // precomputed base, writing forwarding slots and emitting its own live,
+  // filler and move lists. Same strided assignment as step 1.
+  std::vector<std::vector<rt::vaddr_t>> live_by_region(used_regions);
+  std::vector<std::vector<std::pair<rt::vaddr_t, std::uint64_t>>>
+      fillers_by_region(used_regions);
+  std::vector<std::uint64_t> moved_by_region(used_regions, 0);
+  cp += collector.RunParallelPhase([&](unsigned worker,
+                                       sim::CpuContext& ctx) {
+    for (std::uint64_t r = worker; r < used_regions; r += stride) {
+      const rt::vaddr_t lo = region_begin(r);
+      const rt::vaddr_t hi = region_end(r);
+      ctx.account.Charge(sim::CostKind::kCompute,
+                         costs.heap_scan_per_byte *
+                             static_cast<double>(hi - lo));
+      rt::vaddr_t comp_pnt = entries[r];
+      bitmap.ForEachMarkedInRange(lo, hi, [&](rt::vaddr_t addr) {
+        ctx.account.Charge(sim::CostKind::kCompute, costs.forward_obj);
+        const std::uint64_t size = rt::ObjectView(as, addr).size();
+        const bool large = heap.IsLargeObject(size);
+
+        const rt::vaddr_t dst = heap.AlignFor(size, comp_pnt);
+        if (dst > comp_pnt) {
+          fillers_by_region[r].emplace_back(comp_pnt, dst - comp_pnt);
+        }
+
+        rt::ObjectView view(as, addr);
+        view.set_forwarding(dst);
+        live_by_region[r].push_back(addr);
+
+        if (dst != addr || evacuate_all_live) {
+          SVAGC_DCHECK(dst <= addr);
+          const rt::vaddr_t dst_hi =
+              (large ? AlignUp(dst + size, sim::kPageSize) : dst + size) - 1;
+          auto& dep = plan.region_dep[r];
+          const std::uint64_t dep_candidate = region_of(dst_hi);
+          dep = (dep == kNoDep) ? dep_candidate
+                                : std::max(dep, dep_candidate);
+          plan.region_moves[r].push_back(Move{addr, dst, size, large});
+          ++moved_by_region[r];
+        }
+
+        comp_pnt = dst + size;
+        const rt::vaddr_t post = heap.AlignFor(size, comp_pnt);
+        if (post > comp_pnt) {
+          fillers_by_region[r].emplace_back(comp_pnt, post - comp_pnt);
+          comp_pnt = post;
+        }
+      });
+      // The replayed layout must land exactly on the next region's entry —
+      // the prefix scan and the install pass agree or the plan is corrupt.
+      SVAGC_DCHECK(comp_pnt == entries[r + 1]);
+    }
+  });
+
+  // Stitch the per-region lists into the serial plan shape (region-ascending
+  // order, which is the order the serial walk emits).
+  cp += collector.RunSerialPhase([&](sim::CpuContext& ctx) {
+    result.live.reserve(plan.live_objects);
+    ctx.account.Charge(sim::CostKind::kCompute,
+                       costs.heap_scan_per_byte * 8.0 *
+                           static_cast<double>(plan.live_objects));
+    for (std::uint64_t r = 0; r < used_regions; ++r) {
+      result.live.insert(result.live.end(), live_by_region[r].begin(),
+                         live_by_region[r].end());
+      plan.fillers.insert(plan.fillers.end(), fillers_by_region[r].begin(),
+                          fillers_by_region[r].end());
+      plan.moved_objects += moved_by_region[r];
+    }
+  });
+
+  if (critical_path != nullptr) *critical_path = cp;
+  return result;
+}
+
 void AdjustReferences(rt::Jvm& jvm, const std::vector<rt::vaddr_t>& live,
                       sim::CpuContext& ctx, const GcCosts& costs,
                       unsigned worker, unsigned stride) {

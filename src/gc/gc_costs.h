@@ -16,6 +16,12 @@ struct GcCosts {
   double mark_visit = 450;        // pop + header test-and-set + type lookup
   double mark_ref = 25;           // read one reference slot, push
   double forward_obj = 250;       // phase II per live object
+  // Parallel-summary forwarding (region pipeline): the summary sweep only
+  // reads each live object's size word (no forwarding store, no plan
+  // append), so it is cheaper than the install pass, which keeps paying
+  // forward_obj. The prefix scan is a handful of arithmetic ops per region.
+  double forward_summary_obj = 90;  // summary sweep per live object
+  double forward_region = 15;       // prefix-scan per region
   double adjust_obj = 350;        // phase III per live object
   double adjust_ref = 35;         // rewrite one reference slot
   double root_slot = 40;          // scan/rewrite one root

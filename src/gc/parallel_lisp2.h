@@ -2,13 +2,15 @@
 // baseline, the Shenandoah-like baseline's full collection, and SVAGC.
 //
 // Phase structure per cycle (paper §II):
-//   I   marking            — parallel, work-stealing
-//   II  forwarding calc    — serial summary (cheap, O(live))
+//   I   marking            — parallel, level-synchronous work distribution
+//   II  forwarding calc    — parallel region-summary pipeline (sweep ‖,
+//                            prefix scan, install ‖), or the serial
+//                            reference summary when configured
 //   III pointer adjustment — parallel over the live list
-//   IV  compaction         — parallel sliding compaction over regions with
-//                            dependency ordering (a region is evacuated only
-//                            after every region its writes land in has been
-//                            fully evacuated), or serial when
+//   IV  compaction         — parallel sliding compaction over regions,
+//                            scheduled either by a dependency-aware
+//                            work-stealing ready queue (default) or by the
+//                            legacy static contiguous blocks; serial when
 //                            compact_parallelism() == 1.
 //
 // Subclasses specialize MoveObject (SwapVA vs memmove), the compaction
@@ -18,12 +20,43 @@
 #pragma once
 
 #include <atomic>
+#include <memory>
 
 #include "gc/collector.h"
 #include "gc/forwarding.h"
 #include "gc/mark.h"
+#include "support/spin_lock.h"
+#include "support/ws_deque.h"
 
 namespace svagc::gc {
+
+// Phase II implementation choice. kParallelSummary uses the region-summary
+// pipeline whenever the gang has more than one worker (with one worker the
+// pipeline's second sweep is pure overhead, so it falls back to the serial
+// reference).
+enum class ForwardingMode {
+  kSerial,
+  kParallelSummary,
+};
+
+// Phase IV scheduling choice.
+//
+// kStaticBlocks: each worker owns a contiguous block of regions and walks it
+// in order, waiting on a monotone completed-prefix frontier before evacuating
+// a region with dependencies. Deterministic by construction; load-imbalanced
+// when live data clusters.
+//
+// kWorkStealing: regions become ready when the interval of regions their
+// moves write into has been evacuated, are released into the completing
+// worker's Chase-Lev deque, and are claimed by whichever worker is idle.
+// The real execution order is host-dependent, so the *reported* compact
+// cycles come from a deterministic list-scheduling replay over per-region
+// costs (which are order-independent — see parallel_lisp2.cc) rather than
+// from the racy per-worker account deltas.
+enum class CompactionSchedulerKind {
+  kStaticBlocks,
+  kWorkStealing,
+};
 
 class ParallelLisp2 : public CollectorBase {
  public:
@@ -36,17 +69,29 @@ class ParallelLisp2 : public CollectorBase {
 
   void Collect(rt::Jvm& jvm) override;
 
- protected:
-  // Moves one object from move.src to move.dst (sizes in bytes). The base
-  // implementation is a pure memmove through the address space.
-  virtual void MoveObject(rt::Jvm& jvm, sim::CpuContext& ctx, const Move& move);
+  ForwardingMode forwarding_mode() const { return forwarding_mode_; }
+  void set_forwarding_mode(ForwardingMode mode) { forwarding_mode_ = mode; }
+  CompactionSchedulerKind compaction_scheduler() const { return scheduler_; }
+  void set_compaction_scheduler(CompactionSchedulerKind kind) {
+    scheduler_ = kind;
+  }
 
-  // Called once per worker when that worker finishes a region's moves —
-  // aggregation batches must be flushed *before* the region is published as
-  // done (later regions may read the frames the batch still has to place).
-  virtual void FlushMoves(rt::Jvm& jvm, sim::CpuContext& ctx) {
+ protected:
+  // Moves one object from move.src to move.dst (sizes in bytes) on behalf of
+  // gang worker `worker` (whose context `ctx` is). The base implementation
+  // is a pure memmove through the address space.
+  virtual void MoveObject(rt::Jvm& jvm, sim::CpuContext& ctx, unsigned worker,
+                          const Move& move);
+
+  // Called once per region when the executing worker finishes that region's
+  // moves — aggregation batches must be flushed *before* the region is
+  // published as done (later regions may read the frames the batch still has
+  // to place).
+  virtual void FlushMoves(rt::Jvm& jvm, sim::CpuContext& ctx,
+                          unsigned worker) {
     (void)jvm;
     (void)ctx;
+    (void)worker;
   }
 
   // STW hooks around the compaction phase; cycles they charge to `ctx` are
@@ -74,11 +119,37 @@ class ParallelLisp2 : public CollectorBase {
   std::uint64_t region_bytes_;
 
  private:
-  void CompactRegion(rt::Jvm& jvm, sim::CpuContext& ctx,
+  // Evacuates one region's moves on `worker` and records the region's
+  // modeled cost delta (for the work-stealing replay).
+  void ExecuteRegion(rt::Jvm& jvm, sim::CpuContext& ctx, unsigned worker,
                      const CompactionPlan& plan, std::uint64_t region);
 
-  // Parallel compaction scheduling state (per cycle).
+  double CompactStaticBlocks(rt::Jvm& jvm, const CompactionPlan& plan,
+                             unsigned compact_workers);
+  double CompactWorkStealing(rt::Jvm& jvm, const CompactionPlan& plan,
+                             unsigned compact_workers);
+
+  // Static-blocks path: publishes `region` done and advances the monotone
+  // completed-prefix frontier (satellite fix for the old 0..dep re-scan).
+  void PublishRegionDone(std::uint64_t region);
+
+  ForwardingMode forwarding_mode_ = ForwardingMode::kParallelSummary;
+  CompactionSchedulerKind scheduler_ = CompactionSchedulerKind::kWorkStealing;
+
+  // --- Per-cycle compaction scheduling state ---
+  // Static blocks: completion flags + monotone done-prefix frontier.
   std::vector<std::atomic<bool>> region_done_;
+  std::atomic<std::uint64_t> frontier_{0};
+  SpinLock sched_lock_;
+  // Work stealing: per-worker ready deques, per-region unmet-dependency
+  // counters, and for each region the list of regions waiting on it.
+  std::vector<std::unique_ptr<WorkStealingDeque<std::uint64_t>>> deques_;
+  std::vector<std::atomic<std::uint32_t>> deps_left_;
+  std::vector<std::vector<std::uint64_t>> watchers_;
+  std::atomic<std::uint64_t> regions_left_{0};
+  // Per-region modeled cost, written once by the executing worker and read
+  // after the phase joins (for the deterministic replay).
+  std::vector<double> region_cost_;
 };
 
 }  // namespace svagc::gc

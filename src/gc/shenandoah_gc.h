@@ -24,7 +24,7 @@ class ShenandoahLike : public ParallelLisp2 {
   // just the displaced ones (region evacuation into empty regions).
   bool EvacuateAllLive() const override { return true; }
 
-  void MoveObject(rt::Jvm& jvm, sim::CpuContext& ctx,
+  void MoveObject(rt::Jvm& jvm, sim::CpuContext& ctx, unsigned worker,
                   const Move& move) override {
     // Indirection maintenance per evacuated object.
     ctx.account.Charge(sim::CostKind::kCompute, kIndirectionOverhead);
@@ -41,7 +41,7 @@ class ShenandoahLike : public ParallelLisp2 {
       ++log_.objects_moved;
       return;
     }
-    ParallelLisp2::MoveObject(jvm, ctx, move);
+    ParallelLisp2::MoveObject(jvm, ctx, worker, move);
   }
 
  private:

@@ -7,6 +7,7 @@ namespace svagc::memsim {
 void MemoryHierarchy::OnAccess(std::uint64_t vaddr, std::uint32_t size,
                                bool is_write) {
   (void)is_write;  // allocate-on-write; miss counting is direction-agnostic
+  SpinLockGuard guard(lock_);
   const std::uint64_t line = l1_.config().line_bytes;
   const std::uint64_t first = vaddr / line;
   const std::uint64_t last = (vaddr + (size == 0 ? 0 : size - 1)) / line;

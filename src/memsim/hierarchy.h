@@ -7,6 +7,7 @@
 #include "memsim/cache.h"
 #include "memsim/dtlb.h"
 #include "simkernel/trace.h"
+#include "support/spin_lock.h"
 
 namespace svagc::memsim {
 
@@ -65,6 +66,9 @@ class MemoryHierarchy : public sim::MemTraceSink {
   }
 
  private:
+  // Parallel GC phases feed the sink from every worker thread; cache and
+  // TLB state mutate on every probe, so probes are serialized.
+  SpinLock lock_;
   Cache l1_;
   Cache l2_;
   Cache llc_;

@@ -29,7 +29,7 @@ SysStatus Kernel::SysSwapVa(AddressSpace& as, CpuContext& ctx, vaddr_t a,
                             vaddr_t b, std::uint64_t pages,
                             const SwapVaOptions& opts) {
   ctx.account.Charge(CostKind::kSyscall, machine_.cost().syscall_entry);
-  ++swapva_calls_;
+  swapva_calls_.fetch_add(1, std::memory_order_relaxed);
   const SysStatus pin_status = ValidatePinned(ctx, opts);
   if (pin_status != SysStatus::kOk) return pin_status;
   if (pages == 0 || a == b) return SysStatus::kOk;
@@ -58,7 +58,7 @@ SwapVecResult Kernel::SysSwapVaVec(AddressSpace& as, CpuContext& ctx,
                                    const SwapVaOptions& opts) {
   // One kernel entry for the whole batch — the aggregation of Fig. 5(b).
   ctx.account.Charge(CostKind::kSyscall, machine_.cost().syscall_entry);
-  ++swapva_calls_;
+  swapva_calls_.fetch_add(1, std::memory_order_relaxed);
   SwapVecResult result;
   const SysStatus pin_status = ValidatePinned(ctx, opts);
   if (pin_status != SysStatus::kOk) {
@@ -169,7 +169,7 @@ void Kernel::SwapDisjoint(AddressSpace& as, CpuContext& ctx, vaddr_t a,
     // frames): kernel-side clear_page loop, charged like allocation zeroing.
     as.ZeroBytes(ctx, a, pages << kPageShift);
   }
-  pages_swapped_ += pages;
+  pages_swapped_.fetch_add(pages, std::memory_order_relaxed);
 }
 
 void Kernel::SwapOverlap(AddressSpace& as, CpuContext& ctx, vaddr_t lo,
@@ -214,7 +214,7 @@ void Kernel::SwapOverlap(AddressSpace& as, CpuContext& ctx, vaddr_t lo,
     ctx.account.Charge(CostKind::kPteUpdate, cost.pte_update);
     flush_page(cur);
   }
-  pages_swapped_ += span;
+  pages_swapped_.fetch_add(span, std::memory_order_relaxed);
 }
 
 void Kernel::ApplyEndOfCallFlush(AddressSpace& as, CpuContext& ctx,

@@ -18,6 +18,7 @@
 // failure modes themselves are driven by an optional FaultHook (fault.h).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -133,8 +134,12 @@ class Kernel {
   void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
   FaultHook* fault_hook() const { return fault_hook_; }
 
-  std::uint64_t swapva_calls() const { return swapva_calls_; }
-  std::uint64_t pages_swapped() const { return pages_swapped_; }
+  std::uint64_t swapva_calls() const {
+    return swapva_calls_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t pages_swapped() const {
+    return pages_swapped_.load(std::memory_order_relaxed);
+  }
 
  private:
   // Algorithm 1: disjoint ranges, pairwise PTE exchange.
@@ -159,8 +164,10 @@ class Kernel {
 
   Machine& machine_;
   FaultHook* fault_hook_ = nullptr;
-  std::uint64_t swapva_calls_ = 0;
-  std::uint64_t pages_swapped_ = 0;
+  // Diagnostic totals, bumped from every GC worker's syscalls concurrently;
+  // relaxed atomics — counts matter, ordering does not.
+  std::atomic<std::uint64_t> swapva_calls_{0};
+  std::atomic<std::uint64_t> pages_swapped_{0};
 };
 
 }  // namespace svagc::sim

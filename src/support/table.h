@@ -16,6 +16,23 @@ class TablePrinter {
 
   void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
 
+  // One self-describing JSON line per table, machine-checkable by the
+  // bench-smoke harness and by downstream plotting scripts:
+  //   {"id": "...", "headers": [...], "rows": [[...], ...]}
+  void PrintJson(const std::string& id, std::FILE* out = stdout) const {
+    std::string line = "{\"id\": ";
+    AppendJsonString(line, id);
+    line += ", \"headers\": ";
+    AppendJsonArray(line, headers_);
+    line += ", \"rows\": [";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (i != 0) line += ", ";
+      AppendJsonArray(line, rows_[i]);
+    }
+    line += "]}";
+    std::fprintf(out, "%s\n", line.c_str());
+  }
+
   void Print(std::FILE* out = stdout) const {
     std::vector<std::size_t> widths(headers_.size(), 0);
     for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
@@ -35,6 +52,45 @@ class TablePrinter {
   }
 
  private:
+  static void AppendJsonString(std::string& out, const std::string& s) {
+    out += '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        case '\t':
+          out += "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+  }
+
+  static void AppendJsonArray(std::string& out,
+                              const std::vector<std::string>& cells) {
+    out += '[';
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i != 0) out += ", ";
+      AppendJsonString(out, cells[i]);
+    }
+    out += ']';
+  }
+
   static void PrintRow(std::FILE* out, const std::vector<std::string>& cells,
                        const std::vector<std::size_t>& widths) {
     for (std::size_t i = 0; i < widths.size(); ++i) {

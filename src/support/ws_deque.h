@@ -10,6 +10,7 @@
 #include <atomic>
 #include <cstdint>
 #include <optional>
+#include <type_traits>
 #include <vector>
 
 #include "support/check.h"
@@ -19,6 +20,12 @@ namespace svagc {
 
 template <typename T>
 class WorkStealingDeque {
+  // Ring slots are relaxed atomics (as in the PPoPP'13 model): a thief may
+  // load a slot the owner is concurrently recycling, and the CAS on top_
+  // then rejects the stale value. Plain slots would make that load a data
+  // race in the C++ model even though the value is discarded.
+  static_assert(std::is_trivially_copyable_v<T>);
+
  public:
   explicit WorkStealingDeque(std::size_t capacity_pow2 = 1 << 14)
       : mask_(capacity_pow2 - 1), buffer_(capacity_pow2) {
@@ -37,7 +44,8 @@ class WorkStealingDeque {
       overflow_empty_.store(false, std::memory_order_relaxed);
       return;
     }
-    buffer_[static_cast<std::size_t>(b) & mask_] = std::move(value);
+    buffer_[static_cast<std::size_t>(b) & mask_].store(
+        value, std::memory_order_relaxed);
     bottom_.store(b + 1, std::memory_order_release);
   }
 
@@ -52,7 +60,8 @@ class WorkStealingDeque {
       bottom_.store(b + 1, std::memory_order_relaxed);
       return PopOverflow();
     }
-    T value = buffer_[static_cast<std::size_t>(b) & mask_];
+    T value = buffer_[static_cast<std::size_t>(b) & mask_].load(
+        std::memory_order_relaxed);
     if (t == b) {
       // Last element: race with thieves via CAS on top.
       if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
@@ -71,12 +80,24 @@ class WorkStealingDeque {
     std::atomic_thread_fence(std::memory_order_seq_cst);
     const std::int64_t b = bottom_.load(std::memory_order_acquire);
     if (t >= b) return PopOverflow();
-    T value = buffer_[static_cast<std::size_t>(t) & mask_];
+    T value = buffer_[static_cast<std::size_t>(t) & mask_].load(
+        std::memory_order_relaxed);
     if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                       std::memory_order_relaxed)) {
       return std::nullopt;  // lost the race; caller retries elsewhere
     }
     return value;
+  }
+
+  // Quiescent-state only (no concurrent owner or thieves): rewinds the ring
+  // indices and drops any overflow so the deque can be reused across GC
+  // cycles without reallocating the ring buffer.
+  void Reset() {
+    top_.store(0, std::memory_order_relaxed);
+    bottom_.store(0, std::memory_order_relaxed);
+    SpinLockGuard guard(overflow_lock_);
+    overflow_.clear();
+    overflow_empty_.store(true, std::memory_order_relaxed);
   }
 
   bool LooksEmpty() const {
@@ -102,7 +123,7 @@ class WorkStealingDeque {
   std::atomic<std::int64_t> top_{0};
   std::atomic<std::int64_t> bottom_{0};
   const std::size_t mask_;
-  std::vector<T> buffer_;
+  std::vector<std::atomic<T>> buffer_;
 
   SpinLock overflow_lock_;
   std::vector<T> overflow_;

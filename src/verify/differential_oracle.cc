@@ -53,7 +53,7 @@ class DropMoveCollector : public core::SvagcCollector {
   }
 
  protected:
-  void MoveObject(rt::Jvm& jvm, sim::CpuContext& ctx,
+  void MoveObject(rt::Jvm& jvm, sim::CpuContext& ctx, unsigned worker,
                   const gc::Move& move) override {
     if (move.src != move.dst &&
         displaced_moves_.fetch_add(1, std::memory_order_relaxed) ==
@@ -61,7 +61,7 @@ class DropMoveCollector : public core::SvagcCollector {
       moves_dropped_.fetch_add(1, std::memory_order_relaxed);
       return;  // the bug: forwarding promised a move that never happens
     }
-    core::SvagcCollector::MoveObject(jvm, ctx, move);
+    core::SvagcCollector::MoveObject(jvm, ctx, worker, move);
   }
 
  private:

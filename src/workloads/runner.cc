@@ -30,29 +30,40 @@ std::unique_ptr<rt::CollectorIface> MakeCollector(CollectorKind kind,
                                                   unsigned first_core) {
   core::SvagcConfig svagc;
   svagc.move.threshold_pages = config.swap_threshold_pages;
+  std::unique_ptr<rt::CollectorIface> collector;
   switch (kind) {
     case CollectorKind::kSvagc:
-      return std::make_unique<core::SvagcCollector>(machine, config.gc_threads,
-                                                    first_core, svagc);
+      collector = std::make_unique<core::SvagcCollector>(
+          machine, config.gc_threads, first_core, svagc);
+      break;
     case CollectorKind::kSvagcNoSwap:
       svagc.move.use_swapva = false;
-      return std::make_unique<core::SvagcCollector>(machine, config.gc_threads,
-                                                    first_core, svagc);
+      collector = std::make_unique<core::SvagcCollector>(
+          machine, config.gc_threads, first_core, svagc);
+      break;
     case CollectorKind::kSvagcNaiveTlb:
       svagc.pinned_compaction = false;
-      return std::make_unique<core::SvagcCollector>(machine, config.gc_threads,
-                                                    first_core, svagc);
+      collector = std::make_unique<core::SvagcCollector>(
+          machine, config.gc_threads, first_core, svagc);
+      break;
     case CollectorKind::kParallelGc:
-      return std::make_unique<gc::ParallelGcLike>(machine, config.gc_threads,
-                                                  first_core);
+      collector = std::make_unique<gc::ParallelGcLike>(
+          machine, config.gc_threads, first_core);
+      break;
     case CollectorKind::kShenandoah:
-      return std::make_unique<gc::ShenandoahLike>(machine, config.gc_threads,
-                                                  first_core);
+      collector = std::make_unique<gc::ShenandoahLike>(
+          machine, config.gc_threads, first_core);
+      break;
     case CollectorKind::kSerialLisp2:
-      return std::make_unique<gc::SerialLisp2>(machine, first_core);
+      collector = std::make_unique<gc::SerialLisp2>(machine, first_core);
+      break;
   }
-  SVAGC_CHECK(false);
-  return nullptr;
+  SVAGC_CHECK(collector != nullptr);
+  if (auto* lisp2 = dynamic_cast<gc::ParallelLisp2*>(collector.get())) {
+    lisp2->set_forwarding_mode(config.forwarding);
+    lisp2->set_compaction_scheduler(config.compaction_scheduler);
+  }
+  return collector;
 }
 
 struct JvmBundle {

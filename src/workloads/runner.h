@@ -36,6 +36,11 @@ struct RunConfig {
   unsigned iterations = 0;   // 0 = workload default
   unsigned machine_cores = 32;
   std::uint64_t swap_threshold_pages = 10;
+  // Phase II / phase IV strategy knobs (fig17 sweeps these; the defaults
+  // are the production configuration used by every other figure).
+  gc::ForwardingMode forwarding = gc::ForwardingMode::kParallelSummary;
+  gc::CompactionSchedulerKind compaction_scheduler =
+      gc::CompactionSchedulerKind::kWorkStealing;
   const sim::CostProfile* profile = nullptr;  // default: Xeon Gold 6130
   sim::MemTraceSink* trace = nullptr;         // Table III cache/DTLB sink
   bool verify_heap = false;  // run the full heap verifier after the run

@@ -13,6 +13,7 @@
 #include "simkernel/swapva.h"
 #include "support/rng.h"
 #include "tests/test_util.h"
+#include "verify/differential_oracle.h"
 
 namespace svagc {
 namespace {
@@ -188,6 +189,102 @@ TEST(GcSoak, SvagcSurvivesSustainedChurn) {
     }
   }
   EXPECT_GT(jvm.gc_count(), 10u);
+}
+
+// --- compaction scheduler ----------------------------------------------------
+
+// Drives a deterministic churn (same seed, same allocation sequence) under a
+// given phase-IV scheduler and returns the final heap digest plus the modeled
+// phase totals. GC triggering, forwarding, and the moves themselves are all
+// deterministic, so everything but the *scheduling* of region evacuation is
+// held fixed between arms.
+struct ChurnOutcome {
+  verify::HeapDigest digest;
+  std::uint64_t gc_count = 0;
+  rt::GcCycleRecord phase_sum;
+  double pause_total = 0;
+};
+
+ChurnOutcome RunScheduledChurn(gc::CompactionSchedulerKind kind,
+                               unsigned gc_threads) {
+  SimBundle sim(16, 512ULL << 20);
+  rt::JvmConfig config;
+  config.heap.capacity = 3 << 20;
+  config.logical_threads = 4;
+  rt::Jvm jvm(sim.machine, sim.phys, sim.kernel, config);
+  auto collector =
+      std::make_unique<core::SvagcCollector>(sim.machine, gc_threads, 0);
+  collector->set_compaction_scheduler(kind);
+  jvm.set_collector(std::move(collector));
+
+  Rng rng(412);
+  constexpr unsigned kSlots = 32;
+  const auto root = jvm.roots().Add(jvm.New(1, kSlots, 0));
+  for (int step = 0; step < 3000; ++step) {
+    const bool large = rng.NextBelow(5) == 0;
+    const std::uint64_t bytes =
+        large ? 10 * sim::kPageSize + 8 * rng.NextBelow(4096)
+              : 8 * (1 + rng.NextBelow(128));
+    const rt::vaddr_t obj =
+        jvm.New(2, 0, bytes, static_cast<unsigned>(rng.NextBelow(4)));
+    jvm.View(jvm.roots().Get(root))
+        .set_ref(static_cast<std::uint32_t>(rng.NextBelow(kSlots)), obj);
+  }
+  ChurnOutcome outcome;
+  outcome.digest = verify::DigestHeap(jvm);
+  outcome.gc_count = jvm.gc_count();
+  outcome.phase_sum = jvm.collector().log().Sum();
+  outcome.pause_total = jvm.collector().log().pauses.total();
+  return outcome;
+}
+
+// Work stealing executes regions in a host-dependent order, but the final
+// heap image must be byte-identical to the static scheduler's: the plan
+// fully determines the result, the scheduler only determines who moves what
+// when.
+TEST(CompactionScheduler, WorkStealingHeapMatchesStaticBlocks) {
+  const ChurnOutcome stat =
+      RunScheduledChurn(gc::CompactionSchedulerKind::kStaticBlocks, 8);
+  const ChurnOutcome steal =
+      RunScheduledChurn(gc::CompactionSchedulerKind::kWorkStealing, 8);
+  EXPECT_GT(steal.gc_count, 10u);
+  EXPECT_EQ(steal.gc_count, stat.gc_count);
+  const std::string divergence =
+      verify::CompareDigests(steal.digest, stat.digest);
+  EXPECT_TRUE(divergence.empty()) << divergence;
+}
+
+// The reported compact cycles for the work-stealing scheduler come from the
+// deterministic list-scheduling replay, so two identical runs must agree to
+// the last bit — on any host, under any thread interleaving.
+TEST(CompactionScheduler, ModeledCyclesAreDeterministicAcrossRuns) {
+  const ChurnOutcome a =
+      RunScheduledChurn(gc::CompactionSchedulerKind::kWorkStealing, 8);
+  const ChurnOutcome b =
+      RunScheduledChurn(gc::CompactionSchedulerKind::kWorkStealing, 8);
+  EXPECT_GT(a.gc_count, 10u);
+  EXPECT_EQ(a.gc_count, b.gc_count);
+  EXPECT_EQ(a.phase_sum.compact, b.phase_sum.compact);
+  EXPECT_EQ(a.phase_sum.Total(), b.phase_sum.Total());
+  EXPECT_EQ(a.pause_total, b.pause_total);
+}
+
+// A gang bigger than the region count and a gang of one both have to drain
+// the dependency graph without deadlock or lost regions.
+TEST(CompactionScheduler, ExtremeGangSizesDrainTheQueue) {
+  for (const unsigned gc_threads : {1u, 16u}) {
+    const ChurnOutcome steal =
+        RunScheduledChurn(gc::CompactionSchedulerKind::kWorkStealing,
+                          gc_threads);
+    const ChurnOutcome stat =
+        RunScheduledChurn(gc::CompactionSchedulerKind::kStaticBlocks,
+                          gc_threads);
+    EXPECT_GT(steal.gc_count, 10u);
+    const std::string divergence =
+        verify::CompareDigests(steal.digest, stat.digest);
+    EXPECT_TRUE(divergence.empty()) << "threads=" << gc_threads << ": "
+                                    << divergence;
+  }
 }
 
 }  // namespace

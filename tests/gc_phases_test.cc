@@ -239,6 +239,107 @@ TEST_F(PhaseTest, EvacuateAllLivePlansEveryObject) {
   EXPECT_EQ(fwd.plan.moved_objects, stats.live_objects);
 }
 
+// --- parallel forwarding ------------------------------------------------------
+
+// The region-summary pipeline must reproduce the serial plan bit for bit:
+// every forwarding slot, the live list, the per-region move lists, the
+// dependency bounds, the filler spans, and the counters.
+class ParallelForwarding : public ::testing::TestWithParam<unsigned> {
+ protected:
+  enum Shape { kSmallOnly, kLargeOnly, kMixed };
+
+  static std::uint64_t DataBytes(Shape shape, Rng& rng) {
+    const bool large = shape == kLargeOnly ||
+                       (shape == kMixed && rng.NextBelow(8) == 0);
+    return large ? 10 * sim::kPageSize + 8 * rng.NextBelow(3 * 512)
+                 : 8 * (1 + rng.NextBelow(64));
+  }
+
+  void ExpectPlanMatchesSerial(Shape shape, std::uint64_t region_bytes,
+                               bool evacuate_all_live = false) {
+    const unsigned gc_threads = GetParam();
+    SimBundle sim(8, 256ULL << 20);
+    rt::JvmConfig config;
+    config.heap.capacity = 32 << 20;
+    rt::Jvm jvm(sim.machine, sim.phys, sim.kernel, config);
+    jvm.set_collector(std::make_unique<SerialLisp2>(sim.machine, 0));
+
+    // Half-rooted random heap: the dead gaps force displaced moves in every
+    // region, and the unrooted tail keeps new_top well below old top.
+    Rng rng(91 + static_cast<std::uint64_t>(shape));
+    const unsigned count = shape == kLargeOnly ? 250 : 600;
+    const auto table = jvm.New(2, count, 0);
+    const auto root = jvm.roots().Add(table);
+    for (unsigned i = 0; i < count; ++i) {
+      const rt::vaddr_t obj =
+          jvm.New(1, 0, DataBytes(shape, rng),
+                  static_cast<unsigned>(rng.NextBelow(2)));
+      if (rng.NextDouble() < 0.5) {
+        jvm.View(jvm.roots().Get(root)).set_ref(i, obj);
+      }
+    }
+    jvm.RetireAllTlabs();
+
+    MarkBitmap bitmap(jvm.heap());
+    bitmap.Clear();
+    SerialLisp2 serial(sim.machine, 0);
+    MarkSerial(jvm, bitmap, serial.worker_ctx(0), serial.costs());
+    const ForwardingResult want = ComputeForwarding(
+        jvm, bitmap, serial.worker_ctx(0), serial.costs(), region_bytes,
+        evacuate_all_live);
+    // Forwarding slots get rewritten by the parallel pass, so snapshot the
+    // serial assignment first.
+    std::vector<rt::vaddr_t> want_dst;
+    want_dst.reserve(want.live.size());
+    for (const rt::vaddr_t addr : want.live) {
+      want_dst.push_back(jvm.View(addr).forwarding());
+    }
+
+    ParallelLisp2 parallel(sim.machine, gc_threads, 0);
+    double cp = 0;
+    const ForwardingResult got = ComputeForwardingParallel(
+        jvm, bitmap, parallel, region_bytes, evacuate_all_live, &cp);
+
+    EXPECT_GT(cp, 0.0);
+    EXPECT_EQ(got.live, want.live);
+    ASSERT_EQ(got.live.size(), want_dst.size());
+    for (std::size_t i = 0; i < got.live.size(); ++i) {
+      ASSERT_EQ(jvm.View(got.live[i]).forwarding(), want_dst[i])
+          << "forwarding slot " << i << " diverges";
+    }
+    EXPECT_EQ(got.plan.region_bytes, want.plan.region_bytes);
+    EXPECT_EQ(got.plan.region_moves, want.plan.region_moves);
+    EXPECT_EQ(got.plan.region_dep, want.plan.region_dep);
+    EXPECT_EQ(got.plan.fillers, want.plan.fillers);
+    EXPECT_EQ(got.plan.new_top, want.plan.new_top);
+    EXPECT_EQ(got.plan.live_objects, want.plan.live_objects);
+    EXPECT_EQ(got.plan.live_bytes, want.plan.live_bytes);
+    EXPECT_EQ(got.plan.moved_objects, want.plan.moved_objects);
+  }
+};
+
+TEST_P(ParallelForwarding, SmallObjectPlanIsBitIdentical) {
+  ExpectPlanMatchesSerial(kSmallOnly, kDefaultRegionBytes);
+}
+
+TEST_P(ParallelForwarding, LargeObjectPlanIsBitIdentical) {
+  ExpectPlanMatchesSerial(kLargeOnly, kDefaultRegionBytes);
+}
+
+TEST_P(ParallelForwarding, MixedPlanIsBitIdenticalWithSmallRegions) {
+  // 16-page regions: large objects straddle region boundaries, exercising
+  // the summary tail and the cross-region install alignment.
+  ExpectPlanMatchesSerial(kMixed, 16 * sim::kPageSize);
+}
+
+TEST_P(ParallelForwarding, MixedEvacuateAllPlanIsBitIdentical) {
+  ExpectPlanMatchesSerial(kMixed, kDefaultRegionBytes,
+                          /*evacuate_all_live=*/true);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelForwarding,
+                         ::testing::Values(1, 2, 4, 8));
+
 // --- adjust -------------------------------------------------------------------
 
 TEST_F(PhaseTest, AdjustRewritesRefsAndRootsToForwardedAddresses) {
