@@ -4,11 +4,22 @@
 // and prints at least one well-formed JSON table with an "id" field. Wired
 // as the `bench_smoke` ctest and the `bench-smoke` build target, so bench
 // bit-rot fails CI instead of being discovered at figure-regeneration time.
+//
+// Usage: smoke_runner [bench-dir] [--trace-dir=DIR] [bench-name...]
+//   --trace-dir=DIR  run each bench with SVAGC_TRACE_OUT=DIR/<name>.trace.json
+//                    and validate the emitted Perfetto trace against the
+//                    telemetry schema (the `telemetry_smoke` ctest).
+//   bench-name...    restrict the run to the named harnesses.
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
+
+#include "telemetry/trace_json.h"
 
 namespace {
 
@@ -155,11 +166,17 @@ struct BenchOutcome {
   bool ran_ok = false;
   unsigned json_tables = 0;
   unsigned malformed = 0;
+  std::string trace_error;  // non-empty when trace validation failed
+  std::size_t trace_events = 0;
 };
 
-BenchOutcome RunBench(const std::string& dir, const char* name) {
+BenchOutcome RunBench(const std::string& dir, const char* name,
+                      const std::string& trace_path) {
   BenchOutcome outcome;
-  const std::string cmd = dir + "/" + name + " 2>&1";
+  std::string cmd = dir + "/" + name + " 2>&1";
+  if (!trace_path.empty()) {
+    cmd = "SVAGC_TRACE_OUT=" + trace_path + " " + cmd;
+  }
   FILE* pipe = popen(cmd.c_str(), "r");
   if (pipe == nullptr) return outcome;
   std::string line;
@@ -180,13 +197,49 @@ BenchOutcome RunBench(const std::string& dir, const char* name) {
     }
   }
   outcome.ran_ok = pclose(pipe) == 0;
+
+  if (!trace_path.empty()) {
+    std::ifstream in(trace_path);
+    if (!in) {
+      outcome.trace_error = "trace file not written";
+    } else {
+      std::ostringstream text;
+      text << in.rdbuf();
+      outcome.trace_error = svagc::telemetry::ValidateTraceJson(text.str());
+      if (outcome.trace_error.empty()) {
+        std::string parse_error;
+        const auto events =
+            svagc::telemetry::ParseTraceJson(text.str(), &parse_error);
+        if (!events.has_value()) {
+          outcome.trace_error = "trace re-parse failed: " + parse_error;
+        } else if (events->empty()) {
+          outcome.trace_error = "trace contains no events";
+        } else {
+          outcome.trace_events = events->size();
+        }
+      }
+    }
+  }
   return outcome;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string dir = argc > 1 ? argv[1] : ".";
+  std::string dir;
+  std::string trace_dir;
+  std::vector<std::string> filter;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace-dir=", 0) == 0) {
+      trace_dir = arg.substr(std::strlen("--trace-dir="));
+    } else if (dir.empty()) {
+      dir = arg;
+    } else {
+      filter.push_back(arg);
+    }
+  }
+  if (dir.empty()) dir = ".";
   setenv("SVAGC_BENCH_SMOKE", "1", 1);
   setenv("SVAGC_BENCH_JSON", "1", 1);
 
@@ -213,20 +266,43 @@ int main(int argc, char** argv) {
   };
 
   unsigned failures = 0;
+  unsigned ran = 0;
   for (const char* name : benches) {
-    const BenchOutcome outcome = RunBench(dir, name);
-    const bool ok =
-        outcome.ran_ok && outcome.json_tables >= 1 && outcome.malformed == 0;
-    std::printf("[%s] %-32s tables=%u malformed=%u%s\n", ok ? "ok" : "FAIL",
+    if (!filter.empty()) {
+      bool wanted = false;
+      for (const std::string& f : filter) wanted = wanted || f == name;
+      if (!wanted) continue;
+    }
+    ++ran;
+    std::string trace_path;
+    if (!trace_dir.empty()) {
+      trace_path = trace_dir + "/" + name + ".trace.json";
+      std::remove(trace_path.c_str());
+    }
+    const BenchOutcome outcome = RunBench(dir, name, trace_path);
+    const bool ok = outcome.ran_ok && outcome.json_tables >= 1 &&
+                    outcome.malformed == 0 && outcome.trace_error.empty();
+    std::printf("[%s] %-32s tables=%u malformed=%u%s", ok ? "ok" : "FAIL",
                 name, outcome.json_tables, outcome.malformed,
                 outcome.ran_ok ? "" : " (non-zero exit)");
+    if (!trace_path.empty()) {
+      if (outcome.trace_error.empty()) {
+        std::printf(" trace_events=%zu", outcome.trace_events);
+      } else {
+        std::printf(" trace: %s", outcome.trace_error.c_str());
+      }
+    }
+    std::printf("\n");
     if (!ok) ++failures;
+  }
+  if (ran == 0) {
+    std::printf("no bench harness matched the given filter\n");
+    return 1;
   }
   if (failures != 0) {
     std::printf("%u bench harness(es) failed smoke validation\n", failures);
     return 1;
   }
-  std::printf("all %zu bench harnesses emitted valid JSON in smoke mode\n",
-              sizeof benches / sizeof benches[0]);
+  std::printf("all %u bench harnesses emitted valid JSON in smoke mode\n", ran);
   return 0;
 }

@@ -104,11 +104,19 @@ void SvagcCollector::CompactionEpilogue(rt::Jvm& jvm, sim::CpuContext& ctx) {
     }
     pinned_this_cycle_ = false;
   }
-  // Publish aggregated move statistics on the collector log.
+  // Publish aggregated move statistics on the collector log and the metrics
+  // registry (PublishCycleTelemetry re-Stores the log totals; the mover
+  // breakdown below only exists here).
   const MoveObjectStats total = AggregateMoveStats();
   log_.bytes_copied.store(total.bytes_copied, std::memory_order_relaxed);
   log_.bytes_swapped.store(total.bytes_swapped, std::memory_order_relaxed);
   log_.swap_calls.store(total.swap_calls_issued, std::memory_order_relaxed);
+  telemetry::MetricsRegistry& reg = metrics();
+  reg.counter("gc.objects_swapped").Store(total.objects_swapped);
+  reg.counter("gc.objects_copied").Store(total.objects_copied);
+  reg.counter("gc.swap_faults_recovered").Store(total.swap_faults_recovered);
+  reg.counter("gc.pin_losses_recovered").Store(total.pin_losses_recovered);
+  reg.counter("gc.pin_refusals").Store(pin_refusals_);
 }
 
 }  // namespace svagc::core

@@ -2,9 +2,21 @@
 
 namespace svagc::gc {
 
+namespace {
+
+// Process-wide pid allocator for trace tracks: collector instances get
+// distinct Perfetto "processes" in creation order (deterministic because
+// harnesses construct collectors from the driving thread).
+std::uint32_t NextTracePid() {
+  static std::atomic<std::uint32_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
 CollectorBase::CollectorBase(sim::Machine& machine, unsigned gc_threads,
                              unsigned first_core)
-    : machine_(machine) {
+    : machine_(machine), trace_pid_(NextTracePid()) {
   SVAGC_CHECK(gc_threads >= 1);
   workers_.reserve(gc_threads);
   for (unsigned i = 0; i < gc_threads; ++i) {
@@ -38,6 +50,73 @@ double CollectorBase::RunSerialPhase(
   const double before = workers_[0]->account.total();
   body(*workers_[0]);
   return workers_[0]->account.total() - before;
+}
+
+void CollectorBase::BeginPhaseCapture() {
+  capture_base_.resize(workers_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    capture_base_[i] = workers_[i]->account.total();
+  }
+}
+
+std::vector<double> CollectorBase::EndPhaseCapture() const {
+  std::vector<double> deltas(workers_.size(), 0.0);
+  if (capture_base_.size() != workers_.size()) return deltas;
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    deltas[i] = workers_[i]->account.total() - capture_base_[i];
+  }
+  return deltas;
+}
+
+std::vector<TaskSpan> CollectorBase::WorkerTaskSpans(
+    const char* prefix, const std::vector<double>& deltas) {
+  std::vector<TaskSpan> tasks;
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    if (deltas[i] <= 0) continue;
+    tasks.push_back(TaskSpan{static_cast<unsigned>(i),
+                             std::string(prefix) + "/w" + std::to_string(i),
+                             0.0, deltas[i]});
+  }
+  return tasks;
+}
+
+void CollectorBase::PublishCycleTelemetry(const rt::GcCycleRecord& rec,
+                                          const CycleTasks& tasks) {
+  metrics_.histogram("gc.pause_cycles").Record(rec.Total());
+  metrics_.counter("gc.collections").Store(log_.collections);
+  metrics_.counter("gc.bytes_copied")
+      .Store(log_.bytes_copied.load(std::memory_order_relaxed));
+  metrics_.counter("gc.bytes_swapped")
+      .Store(log_.bytes_swapped.load(std::memory_order_relaxed));
+  metrics_.counter("gc.objects_moved")
+      .Store(log_.objects_moved.load(std::memory_order_relaxed));
+  metrics_.counter("gc.swap_calls")
+      .Store(log_.swap_calls.load(std::memory_order_relaxed));
+
+  telemetry::TraceRecorder* tracer = machine_.tracer();
+  if (tracer == nullptr) {
+    trace_clock_ += rec.Total();
+    return;
+  }
+  static constexpr const char* kPhaseNames[5] = {"mark", "forward", "adjust",
+                                                 "compact", "other"};
+  const double durs[5] = {rec.mark, rec.forward, rec.adjust, rec.compact,
+                          rec.other};
+  const double t0 = trace_clock_;
+  tracer->AddSpan("gc", "cycle", trace_pid_, 0, t0, rec.Total());
+  double t = t0;
+  for (std::size_t p = 0; p < 5; ++p) {
+    tracer->AddSpan("gc.phase", kPhaseNames[p], trace_pid_, 0, t, durs[p]);
+    for (const TaskSpan& task : tasks[p]) {
+      tracer->AddSpan("gc.task", task.name, trace_pid_, 1 + task.track,
+                      t + task.start, task.dur);
+    }
+    t += durs[p];
+  }
+  // Advance by Total() (the cycle span's duration), not by the running `t`:
+  // the two can differ in the last ulp, and nested spans must never outlive
+  // their parent.
+  trace_clock_ = t0 + rec.Total();
 }
 
 }  // namespace svagc::gc

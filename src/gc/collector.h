@@ -2,8 +2,10 @@
 // and the shared LISP2 scaffolding the concrete collectors specialize.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "gc/gc_costs.h"
@@ -40,6 +42,19 @@ struct CompactionPlan {
   std::uint64_t moved_objects = 0;
 };
 
+// One sub-span inside a phase, at a phase-relative start time. `track`
+// selects the Perfetto worker track (tid = 1 + track).
+struct TaskSpan {
+  unsigned track = 0;
+  std::string name;
+  double start = 0;
+  double dur = 0;
+};
+
+// Worker/region task spans for one cycle, indexed by phase:
+// {0 mark, 1 forward, 2 adjust, 3 compact, 4 other}.
+using CycleTasks = std::array<std::vector<TaskSpan>, 5>;
+
 class CollectorBase : public rt::CollectorIface {
  public:
   CollectorBase(sim::Machine& machine, unsigned gc_threads,
@@ -60,13 +75,50 @@ class CollectorBase : public rt::CollectorIface {
   // Serial phases run on worker 0's context; returns the cycle delta.
   double RunSerialPhase(const std::function<void(sim::CpuContext&)>& body);
 
+  // Collector-side telemetry: GC counters and the pause histogram live here
+  // ("gc.bytes_copied", "gc.bytes_swapped", "gc.pause_cycles", ...; see
+  // DESIGN.md section 8 for the name schema).
+  telemetry::MetricsRegistry& metrics() { return metrics_; }
+  const telemetry::MetricsRegistry& metrics() const { return metrics_; }
+
+  // Perfetto "process" id of this collector instance (unique per process so
+  // multi-JVM traces separate).
+  std::uint32_t trace_pid() const { return trace_pid_; }
+
+  // Convenience: the machine's attached trace sink (null when tracing off).
+  telemetry::TraceRecorder* tracer() const { return machine_.tracer(); }
+
  protected:
+  // Brackets one phase for task-span capture: Begin snapshots every worker's
+  // account total, End returns the per-worker deltas accumulated since (a
+  // phase may span several Run*Phase calls, e.g. the forwarding pipeline).
+  void BeginPhaseCapture();
+  std::vector<double> EndPhaseCapture() const;
+
+  // Turns the per-worker deltas from EndPhaseCapture into phase-relative
+  // TaskSpans named "<prefix>/w<i>" (zero-cost workers are skipped).
+  static std::vector<TaskSpan> WorkerTaskSpans(const char* prefix,
+                                               const std::vector<double>& deltas);
+
+  // End-of-cycle hook every Collect() implementation calls after
+  // log_.Record(rec): records the pause histogram, republishes the GcLog
+  // totals into metrics(), and — when a tracer is attached — emits the
+  // cycle/phase/task spans on this collector's modeled-cycle trace clock.
+  // Phases are laid out back-to-back in mark, forward, adjust, compact,
+  // other order, so per-phase durations sum to the cycle duration exactly.
+  void PublishCycleTelemetry(const rt::GcCycleRecord& rec,
+                             const CycleTasks& tasks);
+
   sim::Machine& machine_;
   GcCosts costs_ = DefaultGcCosts();
 
  private:
   std::vector<std::unique_ptr<sim::CpuContext>> workers_;
   std::unique_ptr<WorkerGang> gang_;
+  telemetry::MetricsRegistry metrics_;
+  std::vector<double> capture_base_;
+  double trace_clock_ = 0;  // modeled-cycle timestamp of the next cycle span
+  const std::uint32_t trace_pid_;
 };
 
 }  // namespace svagc::gc

@@ -4,6 +4,7 @@ namespace svagc::gc {
 
 void SerialLisp2::Collect(rt::Jvm& jvm) {
   rt::GcCycleRecord rec;
+  CycleTasks tasks;
   rt::Heap& heap = jvm.heap();
 
   MarkBitmap bitmap(heap);
@@ -39,7 +40,16 @@ void SerialLisp2::Collect(rt::Jvm& jvm) {
     heap.SetTopAfterGc(plan.new_top);
   });
 
+  if (tracer() != nullptr) {
+    // Everything runs serially on worker 0: one task span per phase.
+    tasks[0] = {TaskSpan{0, "mark/w0", 0.0, rec.mark}};
+    tasks[1] = {TaskSpan{0, "forward/w0", 0.0, rec.forward}};
+    tasks[2] = {TaskSpan{0, "adjust/w0", 0.0, rec.adjust}};
+    tasks[3] = {TaskSpan{0, "compact/w0", 0.0, rec.compact}};
+  }
+
   log_.Record(rec);
+  PublishCycleTelemetry(rec, tasks);
 }
 
 }  // namespace svagc::gc

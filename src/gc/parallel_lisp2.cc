@@ -28,7 +28,8 @@ double ReplayListSchedule(unsigned workers,
                           const std::vector<std::uint64_t>& work,
                           const std::vector<std::vector<std::uint64_t>>& watchers,
                           std::vector<std::uint32_t> deps_left,
-                          const std::vector<double>& cost) {
+                          const std::vector<double>& cost,
+                          std::vector<TaskSpan>* schedule = nullptr) {
   std::set<std::uint64_t> ready;
   for (const std::uint64_t r : work) {
     if (deps_left[r] == 0) ready.insert(r);
@@ -62,6 +63,10 @@ double ReplayListSchedule(unsigned workers,
       const std::uint64_t r = *ready.begin();
       ready.erase(ready.begin());
       const double start = std::max(avail, now);
+      if (schedule != nullptr) {
+        schedule->push_back(
+            TaskSpan{w, "region/" + std::to_string(r), start, cost[r]});
+      }
       events.push({start + cost[r], r, w});
     }
     SVAGC_CHECK(!events.empty());  // a cyclic dependency would deadlock here
@@ -82,17 +87,22 @@ double ReplayListSchedule(unsigned workers,
 
 void ParallelLisp2::Collect(rt::Jvm& jvm) {
   rt::GcCycleRecord rec;
+  CycleTasks tasks;
+  const bool tracing = tracer() != nullptr;
   rt::Heap& heap = jvm.heap();
 
   // Phase I: parallel marking.
   MarkBitmap bitmap(heap);
   bitmap.Clear();
+  BeginPhaseCapture();
   MarkParallel(jvm, bitmap, *this, &rec.mark);
+  if (tracing) tasks[0] = WorkerTaskSpans("mark", EndPhaseCapture());
 
   // Phase II: forwarding calculation. The parallel region-summary pipeline
   // needs >= 2 workers to beat the single-sweep serial reference (its
   // summary + install passes read every live header twice).
   ForwardingResult fwd{};
+  BeginPhaseCapture();
   if (forwarding_mode_ == ForwardingMode::kParallelSummary &&
       gc_threads() > 1) {
     fwd = ComputeForwardingParallel(jvm, bitmap, *this, region_bytes_,
@@ -103,13 +113,16 @@ void ParallelLisp2::Collect(rt::Jvm& jvm) {
                               EvacuateAllLive());
     });
   }
+  if (tracing) tasks[1] = WorkerTaskSpans("forward", EndPhaseCapture());
   const CompactionPlan& plan = fwd.plan;
 
   // Phase III: parallel pointer adjustment.
   const unsigned stride = gc_threads();
+  BeginPhaseCapture();
   rec.adjust = RunParallelPhase([&](unsigned worker, sim::CpuContext& ctx) {
     AdjustReferences(jvm, fwd.live, ctx, costs(), worker, stride);
   });
+  if (tracing) tasks[2] = WorkerTaskSpans("adjust", EndPhaseCapture());
 
   // Phase IV: compaction.
   rec.other += RunSerialPhase(
@@ -124,6 +137,7 @@ void ParallelLisp2::Collect(rt::Jvm& jvm) {
   const unsigned prev_streams = machine_.active_memory_streams();
   machine_.SetActiveMemoryStreams(prev_streams - 1 + compact_workers);
 
+  BeginPhaseCapture();
   if (compact_workers <= 1) {
     // Serial compaction (the Shenandoah-like baseline's copying phase):
     // in-address-order evacuation needs no dependency tracking.
@@ -136,10 +150,15 @@ void ParallelLisp2::Collect(rt::Jvm& jvm) {
         FlushMoves(jvm, ctx, /*worker=*/0);
       }
     });
+    if (tracing) tasks[3] = WorkerTaskSpans("compact", EndPhaseCapture());
   } else if (scheduler_ == CompactionSchedulerKind::kStaticBlocks) {
     rec.compact = CompactStaticBlocks(jvm, plan, compact_workers);
+    if (tracing) tasks[3] = WorkerTaskSpans("compact", EndPhaseCapture());
   } else {
-    rec.compact = CompactWorkStealing(jvm, plan, compact_workers);
+    // Work stealing runs against scratch accounts, so worker deltas carry
+    // nothing here; the deterministic replay supplies the task spans.
+    rec.compact = CompactWorkStealing(jvm, plan, compact_workers,
+                                      tracing ? &tasks[3] : nullptr);
   }
 
   machine_.SetActiveMemoryStreams(prev_streams);
@@ -154,8 +173,13 @@ void ParallelLisp2::Collect(rt::Jvm& jvm) {
     }
     heap.SetTopAfterGc(plan.new_top);
   });
+  if (tracing && rec.other > 0) {
+    // Prologue + epilogue both run serially on worker 0.
+    tasks[4].push_back(TaskSpan{0, "other/w0", 0.0, rec.other});
+  }
 
   log_.Record(rec);
+  PublishCycleTelemetry(rec, tasks);
 }
 
 void ParallelLisp2::ExecuteRegion(rt::Jvm& jvm, sim::CpuContext& ctx,
@@ -233,7 +257,8 @@ void ParallelLisp2::PublishRegionDone(std::uint64_t region) {
 // tail lives in higher regions than the region that owns the move.
 double ParallelLisp2::CompactWorkStealing(rt::Jvm& jvm,
                                           const CompactionPlan& plan,
-                                          unsigned compact_workers) {
+                                          unsigned compact_workers,
+                                          std::vector<TaskSpan>* compact_tasks) {
   const std::uint64_t num_regions = plan.region_moves.size();
   watchers_.assign(num_regions, {});
   deps_left_ = std::vector<std::atomic<std::uint32_t>>(num_regions);
@@ -328,10 +353,17 @@ double ParallelLisp2::CompactWorkStealing(rt::Jvm& jvm,
     }
   });
 
+  // Deterministic scheduler shape counters (the real steal counts are
+  // host-dependent and deliberately not exported).
+  std::uint64_t dep_edges = 0;
+  for (const auto& w : watchers_) dep_edges += w.size();
+  metrics().counter("gc.compact_regions").Add(work.size());
+  metrics().counter("gc.compact_dep_edges").Add(dep_edges);
+
   // Report the deterministic modeled makespan, not the racy per-worker
   // account deltas (see ReplayListSchedule).
   return ReplayListSchedule(compact_workers, work, watchers_, initial_deps,
-                            region_cost_);
+                            region_cost_, compact_tasks);
 }
 
 void ParallelLisp2::MoveObject(rt::Jvm& jvm, sim::CpuContext& ctx,

@@ -126,8 +126,12 @@ class ParallelLisp2 : public CollectorBase {
 
   double CompactStaticBlocks(rt::Jvm& jvm, const CompactionPlan& plan,
                              unsigned compact_workers);
+  // When `compact_tasks` is non-null, the deterministic replay also emits
+  // one phase-relative TaskSpan per region (the per-worker task spans the
+  // trace shows for the work-stealing schedule).
   double CompactWorkStealing(rt::Jvm& jvm, const CompactionPlan& plan,
-                             unsigned compact_workers);
+                             unsigned compact_workers,
+                             std::vector<TaskSpan>* compact_tasks);
 
   // Static-blocks path: publishes `region` done and advances the monotone
   // completed-prefix frontier (satellite fix for the old 0..dep re-scan).

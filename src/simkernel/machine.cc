@@ -15,14 +15,17 @@ Machine::Machine(unsigned num_cores, const CostProfile& profile)
 
 void Machine::FlushLocalTlb(CpuContext& ctx, std::uint64_t asid) {
   ctx.account.Charge(CostKind::kTlbFlushLocal, profile_.tlb_flush_local);
+  metrics_.counter("tlb.local_flushes").Add();
   tlb(ctx.core_id).FlushAsid(asid);
 }
 
 void Machine::SendTlbShootdown(CpuContext& ctx, std::uint64_t asid) {
+  metrics_.counter("ipi.broadcasts").Add();
   for (unsigned core = 0; core < num_cores_; ++core) {
     if (core == ctx.core_id) continue;
     ctx.account.Charge(CostKind::kIpi, profile_.ipi_send);
     ipis_sent_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.counter("ipi.sent").Add();
     // The remote core takes the interrupt and flushes: both the handler cost
     // and the flush itself are stolen from whatever runs on that core.
     disturbance_[core]->fetch_add(
@@ -42,6 +45,19 @@ std::uint64_t Machine::TotalDisturbanceCycles() const {
 void Machine::ResetCounters() {
   for (auto& cell : disturbance_) cell->store(0, std::memory_order_relaxed);
   ipis_sent_.store(0, std::memory_order_relaxed);
+  metrics_.Reset();
+}
+
+void Machine::PublishTlbMetrics() {
+  std::uint64_t hits = 0, misses = 0, flushes = 0;
+  for (const auto& tlb : tlbs_) {
+    hits += tlb->hits();
+    misses += tlb->misses();
+    flushes += tlb->flushes();
+  }
+  metrics_.counter("tlb.hits").Store(hits);
+  metrics_.counter("tlb.misses").Store(misses);
+  metrics_.counter("tlb.asid_flushes").Store(flushes);
 }
 
 }  // namespace svagc::sim

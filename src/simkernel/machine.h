@@ -17,6 +17,8 @@
 #include "simkernel/cost_model.h"
 #include "simkernel/tlb.h"
 #include "support/check.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace_recorder.h"
 
 namespace svagc::sim {
 
@@ -69,6 +71,22 @@ class Machine {
   }
   void ResetCounters();
 
+  // Machine-wide telemetry: kernel- and hardware-side counters live here
+  // ("ipi.sent", "ipi.broadcasts", "tlb.local_flushes", "swapva.calls", ...;
+  // see DESIGN.md section 8 for the full name schema).
+  telemetry::MetricsRegistry& metrics() { return metrics_; }
+  const telemetry::MetricsRegistry& metrics() const { return metrics_; }
+
+  // Aggregates the per-core Tlb hit/miss/flush tallies into "tlb.hits",
+  // "tlb.misses" and "tlb.asid_flushes" (Store semantics: call at harvest
+  // time, idempotent).
+  void PublishTlbMetrics();
+
+  // Optional trace sink shared by every collector driving this machine.
+  // Not owned; null means tracing is off.
+  void set_tracer(telemetry::TraceRecorder* tracer) { tracer_ = tracer; }
+  telemetry::TraceRecorder* tracer() const { return tracer_; }
+
   // Memory-bandwidth saturation: callers doing bulk copies scale their
   // per-byte cost by this factor. Benches set the number of concurrently
   // copy-active contexts (e.g. JVM count in the multi-JVM experiments).
@@ -100,6 +118,8 @@ class Machine {
   std::atomic<std::uint64_t> ipis_sent_{0};
   std::atomic<unsigned> active_streams_{1};
   std::atomic<std::uint64_t> next_asid_{1};
+  telemetry::MetricsRegistry metrics_;
+  telemetry::TraceRecorder* tracer_ = nullptr;
 };
 
 }  // namespace svagc::sim

@@ -79,6 +79,7 @@ PteTable* PageTable::WalkToLeaf(std::uint64_t vpn, CycleAccount& acct,
   const std::uint64_t tag = vpn >> kLevelBits;
   if (cache != nullptr && cache->tag == tag) {
     // PMD cache hit: skip the four directory accesses (Fig. 7 step 1).
+    ++cache->hits;
     return cache->table;
   }
   // pgd_offset / p4d_offset / pud_offset / pmd_offset: four directory
@@ -87,6 +88,7 @@ PteTable* PageTable::WalkToLeaf(std::uint64_t vpn, CycleAccount& acct,
   PteTable* leaf = ResolveLeaf(vpn, /*create=*/false);
   SVAGC_CHECK(leaf != nullptr);
   if (cache != nullptr) {
+    ++cache->misses;
     cache->tag = tag;
     cache->table = leaf;
   }

@@ -58,6 +58,11 @@ struct PmdCache {
   std::uint64_t tag = ~0ULL;  // vpn >> kLevelBits (2 MiB granule)
   PteTable* table = nullptr;
 
+  // Effectiveness tally (a hit saves four directory accesses); WalkToLeaf
+  // bumps these and the kernel drains them into "pmd.hits"/"pmd.misses".
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+
   void Invalidate() {
     tag = ~0ULL;
     table = nullptr;

@@ -22,7 +22,17 @@ SysStatus Kernel::ValidatePinned(CpuContext& ctx, const SwapVaOptions& opts) {
     return SysStatus::kOk;
   }
   if (Inject(FaultPoint::kForceUnpin)) ctx.pinned = false;
-  return ctx.pinned ? SysStatus::kOk : SysStatus::kNotPinned;
+  if (!ctx.pinned) {
+    ctr_not_pinned_.Add();
+    return SysStatus::kNotPinned;
+  }
+  return SysStatus::kOk;
+}
+
+void Kernel::DrainPmdTally(const PmdCache* cache) {
+  if (cache == nullptr) return;
+  if (cache->hits != 0) ctr_pmd_hits_.Add(cache->hits);
+  if (cache->misses != 0) ctr_pmd_misses_.Add(cache->misses);
 }
 
 SysStatus Kernel::SysSwapVa(AddressSpace& as, CpuContext& ctx, vaddr_t a,
@@ -30,6 +40,7 @@ SysStatus Kernel::SysSwapVa(AddressSpace& as, CpuContext& ctx, vaddr_t a,
                             const SwapVaOptions& opts) {
   ctx.account.Charge(CostKind::kSyscall, machine_.cost().syscall_entry);
   swapva_calls_.fetch_add(1, std::memory_order_relaxed);
+  ctr_calls_.Add();
   const SysStatus pin_status = ValidatePinned(ctx, opts);
   if (pin_status != SysStatus::kOk) return pin_status;
   if (pages == 0 || a == b) return SysStatus::kOk;
@@ -59,6 +70,8 @@ SwapVecResult Kernel::SysSwapVaVec(AddressSpace& as, CpuContext& ctx,
   // One kernel entry for the whole batch — the aggregation of Fig. 5(b).
   ctx.account.Charge(CostKind::kSyscall, machine_.cost().syscall_entry);
   swapva_calls_.fetch_add(1, std::memory_order_relaxed);
+  ctr_calls_.Add();
+  hist_vec_len_.Record(static_cast<double>(requests.size()));
   SwapVecResult result;
   const SysStatus pin_status = ValidatePinned(ctx, opts);
   if (pin_status != SysStatus::kOk) {
@@ -95,6 +108,7 @@ SwapVecResult Kernel::SysSwapVaVec(AddressSpace& as, CpuContext& ctx,
 
 void Kernel::SysFlushProcessTlbs(AddressSpace& as, CpuContext& ctx) {
   ctx.account.Charge(CostKind::kSyscall, machine_.cost().syscall_entry);
+  ctr_flush_process_.Add();
   if (Inject(FaultPoint::kSpuriousLocalFlush)) {
     // Wrong-asid flush: costs the same, invalidates nothing of ours.
     machine_.FlushLocalTlb(ctx, as.asid() ^ (1ULL << 63));
@@ -108,8 +122,10 @@ void Kernel::SysFlushProcessTlbs(AddressSpace& as, CpuContext& ctx) {
 
 SysStatus Kernel::SysPin(CpuContext& ctx) {
   ctx.account.Charge(CostKind::kSyscall, machine_.cost().syscall_entry);
+  ctr_pin_calls_.Add();
   if (Inject(FaultPoint::kRefusePin)) {
     ctx.pinned = false;
+    ctr_pin_refused_.Add();
     return SysStatus::kPinRefused;
   }
   ctx.pinned = true;
@@ -119,6 +135,7 @@ SysStatus Kernel::SysPin(CpuContext& ctx) {
 
 void Kernel::SysUnpin(CpuContext& ctx) {
   ctx.account.Charge(CostKind::kSyscall, machine_.cost().syscall_entry);
+  ctr_unpin_calls_.Add();
   ctx.pinned = false;
 }
 
@@ -170,6 +187,9 @@ void Kernel::SwapDisjoint(AddressSpace& as, CpuContext& ctx, vaddr_t a,
     as.ZeroBytes(ctx, a, pages << kPageShift);
   }
   pages_swapped_.fetch_add(pages, std::memory_order_relaxed);
+  ctr_pages_.Add(pages);
+  DrainPmdTally(pca);
+  DrainPmdTally(pcb);
 }
 
 void Kernel::SwapOverlap(AddressSpace& as, CpuContext& ctx, vaddr_t lo,
@@ -215,6 +235,8 @@ void Kernel::SwapOverlap(AddressSpace& as, CpuContext& ctx, vaddr_t lo,
     flush_page(cur);
   }
   pages_swapped_.fetch_add(span, std::memory_order_relaxed);
+  ctr_pages_.Add(span);
+  DrainPmdTally(pc);
 }
 
 void Kernel::ApplyEndOfCallFlush(AddressSpace& as, CpuContext& ctx,

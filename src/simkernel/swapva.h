@@ -96,7 +96,18 @@ struct SwapRequest {
 // the pinning flag carried in each CpuContext.
 class Kernel {
  public:
-  explicit Kernel(Machine& machine) : machine_(machine) {}
+  explicit Kernel(Machine& machine)
+      : machine_(machine),
+        ctr_calls_(machine.metrics().counter("swapva.calls")),
+        ctr_pages_(machine.metrics().counter("swapva.pages_swapped")),
+        ctr_pin_calls_(machine.metrics().counter("pin.calls")),
+        ctr_pin_refused_(machine.metrics().counter("pin.refused")),
+        ctr_not_pinned_(machine.metrics().counter("pin.not_pinned")),
+        ctr_unpin_calls_(machine.metrics().counter("unpin.calls")),
+        ctr_flush_process_(machine.metrics().counter("flush.process")),
+        ctr_pmd_hits_(machine.metrics().counter("pmd.hits")),
+        ctr_pmd_misses_(machine.metrics().counter("pmd.misses")),
+        hist_vec_len_(machine.metrics().histogram("swapva.vec_len")) {}
 
   Machine& machine() { return machine_; }
 
@@ -162,12 +173,28 @@ class Kernel {
   // the pin here, modelling a scheduler migration between syscalls.
   SysStatus ValidatePinned(CpuContext& ctx, const SwapVaOptions& opts);
 
+  // Folds a per-call PmdCache's hit/miss tally into the machine registry
+  // ("pmd.hits"/"pmd.misses") once the walk streams are done with it.
+  void DrainPmdTally(const PmdCache* cache);
+
   Machine& machine_;
   FaultHook* fault_hook_ = nullptr;
   // Diagnostic totals, bumped from every GC worker's syscalls concurrently;
-  // relaxed atomics — counts matter, ordering does not.
+  // relaxed atomics — counts matter, ordering does not. The same totals are
+  // mirrored into the machine metrics registry (cached references below) so
+  // harnesses have a single read path.
   std::atomic<std::uint64_t> swapva_calls_{0};
   std::atomic<std::uint64_t> pages_swapped_{0};
+  telemetry::Counter& ctr_calls_;
+  telemetry::Counter& ctr_pages_;
+  telemetry::Counter& ctr_pin_calls_;
+  telemetry::Counter& ctr_pin_refused_;
+  telemetry::Counter& ctr_not_pinned_;
+  telemetry::Counter& ctr_unpin_calls_;
+  telemetry::Counter& ctr_flush_process_;
+  telemetry::Counter& ctr_pmd_hits_;
+  telemetry::Counter& ctr_pmd_misses_;
+  telemetry::Histogram& hist_vec_len_;
 };
 
 }  // namespace svagc::sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
+#include <unordered_map>
 
 #include "core/svagc_collector.h"
 #include "runtime/heap_snapshot.h"
@@ -103,6 +104,67 @@ void PlantSalt(rt::Jvm& jvm, const OracleConfig& config) {
     }
     jvm.roots().Add(addr);
   }
+}
+
+struct MovePrediction {
+  bool valid = false;
+  std::uint64_t swapped_bytes = 0;
+  std::uint64_t copied_bytes = 0;
+};
+
+// Predicts the swap arm's byte totals from the digests alone. Liveness is a
+// BFS over the pre-GC reference graph from the roots; sliding compaction
+// preserves address order, so the i-th live pre object lands at the i-th
+// post object. Each displaced pair replays Algorithm 3's dispatch: SwapVA
+// (page-rounded bytes) when the object is at least the threshold and both
+// endpoints page-aligned, memmove (exact bytes) otherwise.
+MovePrediction PredictMoveBytes(const HeapDigest& pre, const HeapDigest& post,
+                                const OracleConfig& config) {
+  MovePrediction out;
+  if (!pre.valid || !post.valid) return out;
+
+  std::unordered_map<rt::vaddr_t, std::size_t> index;
+  index.reserve(pre.objects.size());
+  for (std::size_t i = 0; i < pre.objects.size(); ++i) {
+    index.emplace(pre.objects[i].addr, i);
+  }
+  std::vector<bool> live(pre.objects.size(), false);
+  std::vector<std::size_t> queue;
+  auto visit = [&](rt::vaddr_t addr) {
+    if (addr == 0) return;
+    const auto it = index.find(addr);
+    if (it == index.end() || live[it->second]) return;
+    live[it->second] = true;
+    queue.push_back(it->second);
+  };
+  for (const rt::vaddr_t root : pre.roots) visit(root);
+  while (!queue.empty()) {
+    const std::size_t i = queue.back();
+    queue.pop_back();
+    for (const rt::vaddr_t ref : pre.objects[i].refs) visit(ref);
+  }
+
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < pre.objects.size(); ++i) {
+    if (!live[i]) continue;
+    if (j >= post.objects.size()) return out;  // pairing broke down
+    const DigestObject& src = pre.objects[i];
+    const DigestObject& dst = post.objects[j];
+    ++j;
+    if (src.size != dst.size) return out;
+    if (src.addr == dst.addr) continue;  // not displaced, never moved
+    const bool swappable =
+        src.size >= config.swap_threshold_pages * sim::kPageSize &&
+        IsAligned(src.addr, sim::kPageSize) && IsAligned(dst.addr, sim::kPageSize);
+    if (swappable) {
+      out.swapped_bytes += CeilDiv(src.size, sim::kPageSize) << sim::kPageShift;
+    } else {
+      out.copied_bytes += src.size;
+    }
+  }
+  if (j != post.objects.size()) return out;
+  out.valid = true;
+  return out;
 }
 
 }  // namespace
@@ -241,17 +303,34 @@ OracleResult RunDifferentialOracle(const OracleConfig& config) {
   const InvariantRegistry registry = InvariantRegistry::Default();
   OracleResult result;
 
+  // Pre-GC digest for the move-bytes prediction, taken on a scratch restore
+  // so arm A still starts from the pristine snapshot.
+  rt::RestoreHeap(jvm, snapshot);
+  const HeapDigest pre_digest = DigestHeap(jvm);
+
   // Arm A: SwapVA moves.
   rt::RestoreHeap(jvm, snapshot);
   jvm.set_collector(MakeArmCollector(config, machine, /*use_swapva=*/true));
   jvm.collector().Collect(jvm);
   result.swapped_bytes = jvm.collector().log().bytes_swapped.load();
+  result.memmoved_bytes = jvm.collector().log().bytes_copied.load();
+  {
+    const telemetry::MetricsRegistry& metrics =
+        static_cast<core::SvagcCollector&>(jvm.collector()).metrics();
+    result.metrics_swapped_bytes = metrics.CounterValue("gc.bytes_swapped");
+    result.metrics_memmoved_bytes = metrics.CounterValue("gc.bytes_copied");
+  }
   if (config.drop_move) {
     result.moves_dropped =
         static_cast<DropMoveCollector&>(jvm.collector()).moves_dropped();
   }
   result.invariants_swap = registry.RunAll(jvm);
   const HeapDigest swap_digest = DigestHeap(jvm);
+  const MovePrediction prediction =
+      PredictMoveBytes(pre_digest, swap_digest, config);
+  result.prediction_valid = prediction.valid;
+  result.predicted_swapped_bytes = prediction.swapped_bytes;
+  result.predicted_memmoved_bytes = prediction.copied_bytes;
 
   // Arm B: identical collector, memmove only.
   rt::RestoreHeap(jvm, snapshot);

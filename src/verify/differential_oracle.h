@@ -92,7 +92,22 @@ struct OracleResult {
   std::uint64_t objects = 0;
   std::uint64_t live_bytes = 0;
   std::uint64_t swapped_bytes = 0;
+  std::uint64_t memmoved_bytes = 0;
   std::uint64_t moves_dropped = 0;
+
+  // The swap arm's byte totals as reported by its MetricsRegistry
+  // ("gc.bytes_swapped"/"gc.bytes_copied"). 0 in SVAGC_TELEMETRY=OFF builds.
+  std::uint64_t metrics_swapped_bytes = 0;
+  std::uint64_t metrics_memmoved_bytes = 0;
+
+  // Independent prediction of the same totals from the pre/post heap
+  // digests alone: BFS liveness over the pre-GC object graph, the sliding
+  // order-preservation pairing (i-th live pre object -> i-th post object),
+  // and Algorithm 3's swap-vs-copy dispatch test replayed per displaced
+  // object. Valid only when both digests parsed and paired cleanly.
+  bool prediction_valid = false;
+  std::uint64_t predicted_swapped_bytes = 0;
+  std::uint64_t predicted_memmoved_bytes = 0;
 
   InvariantReport invariants_swap;
   InvariantReport invariants_copy;

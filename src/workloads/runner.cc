@@ -128,10 +128,27 @@ RunResult Harvest(const RunConfig& config, sim::Machine& machine,
 
   result.alignment_waste_bytes = jvm.heap().alignment_waste_bytes();
   result.physical_bytes_written = jvm.address_space().phys().bytes_written();
-  result.bytes_copied = log.bytes_copied.load();
-  result.bytes_swapped = log.bytes_swapped.load();
-  result.swap_calls = log.swap_calls.load();
-  result.ipis_sent = machine.TotalIpisSent();
+
+  // Single source of truth: when telemetry is compiled in, the reported
+  // counters come from the registries (which mirror the legacy fields — the
+  // telemetry tests assert agreement); the legacy reads remain the fallback
+  // for SVAGC_TELEMETRY=OFF builds.
+  machine.PublishTlbMetrics();
+  auto* base = dynamic_cast<gc::CollectorBase*>(&jvm.collector());
+  if (telemetry::kEnabled && base != nullptr) {
+    const telemetry::MetricsRegistry& gc_metrics = base->metrics();
+    result.bytes_copied = gc_metrics.CounterValue("gc.bytes_copied");
+    result.bytes_swapped = gc_metrics.CounterValue("gc.bytes_swapped");
+    result.swap_calls = gc_metrics.CounterValue("gc.swap_calls");
+    result.ipis_sent = machine.metrics().CounterValue("ipi.sent");
+    result.machine_counters = machine.metrics().SnapshotCounters();
+    result.gc_counters = gc_metrics.SnapshotCounters();
+  } else {
+    result.bytes_copied = log.bytes_copied.load();
+    result.bytes_swapped = log.bytes_swapped.load();
+    result.swap_calls = log.swap_calls.load();
+    result.ipis_sent = machine.TotalIpisSent();
+  }
 
   if (config.verify_heap) {
     const rt::VerifyResult verify = rt::VerifyHeap(jvm);
@@ -170,6 +187,9 @@ RunResult RunWorkload(const RunConfig& config) {
       config.profile != nullptr ? *config.profile : sim::ProfileXeonGold6130();
   sim::Machine machine(config.machine_cores, profile);
   sim::Kernel kernel(machine);
+  machine.set_tracer(config.trace_recorder != nullptr
+                         ? config.trace_recorder
+                         : telemetry::EnvTraceRecorder());
 
   // Physical memory: the heap plus slack for page-table-free bookkeeping.
   auto workload_probe = MakeWorkload(config.workload);
@@ -196,6 +216,9 @@ std::vector<RunResult> RunMultiJvm(const RunConfig& config, unsigned num_jvms) {
       config.profile != nullptr ? *config.profile : sim::ProfileXeonGold6130();
   sim::Machine machine(config.machine_cores, profile);
   sim::Kernel kernel(machine);
+  machine.set_tracer(config.trace_recorder != nullptr
+                         ? config.trace_recorder
+                         : telemetry::EnvTraceRecorder());
   machine.SetActiveMemoryStreams(num_jvms);
 
   auto workload_probe = MakeWorkload(config.workload);

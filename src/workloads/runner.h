@@ -5,11 +5,13 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/svagc_collector.h"
 #include "simkernel/cost_model.h"
 #include "simkernel/trace.h"
+#include "telemetry/trace_recorder.h"
 #include "workloads/workload.h"
 
 namespace svagc::workloads {
@@ -43,6 +45,11 @@ struct RunConfig {
       gc::CompactionSchedulerKind::kWorkStealing;
   const sim::CostProfile* profile = nullptr;  // default: Xeon Gold 6130
   sim::MemTraceSink* trace = nullptr;         // Table III cache/DTLB sink
+  // Span-trace sink attached to the machine for the whole run. When null the
+  // runner falls back to telemetry::EnvTraceRecorder(), which is how setting
+  // SVAGC_TRACE_OUT=<path> gives every bench/fig harness trace output with
+  // no per-harness code.
+  telemetry::TraceRecorder* trace_recorder = nullptr;
   bool verify_heap = false;  // run the full heap verifier after the run
 };
 
@@ -71,6 +78,12 @@ struct RunResult {
   std::uint64_t heap_bytes = 0;
   std::uint64_t alignment_waste_bytes = 0;  // paper bound: < 5% of heap
   std::uint64_t physical_bytes_written = 0;  // NVM-wear proxy (section VI)
+
+  // Name-ordered counter snapshots from the telemetry registries (empty in
+  // SVAGC_TELEMETRY=OFF builds): machine-side (IPIs, TLB, SwapVA, PMD cache)
+  // and collector-side (GC byte/object totals).
+  std::vector<std::pair<std::string, std::uint64_t>> machine_counters;
+  std::vector<std::pair<std::string, std::uint64_t>> gc_counters;
 };
 
 // Single-JVM experiment on a fresh machine.

@@ -7,6 +7,7 @@
 #include <string>
 #include <tuple>
 
+#include "telemetry/metrics.h"
 #include "verify/differential_oracle.h"
 
 namespace svagc {
@@ -67,6 +68,46 @@ INSTANTIATE_TEST_SUITE_P(
                                                                : "_LargeHeavy";
       return name;
     });
+
+// Telemetry cross-check: for one GC cycle under the oracle, the swapped and
+// memmoved byte totals must agree across three independent accountings —
+// the collector's GcLog, the telemetry MetricsRegistry, and a prediction
+// replayed purely from the pre/post heap snapshot diff (BFS liveness +
+// sliding-order pairing + Algorithm 3's dispatch test). Any drift between
+// the registry and the heap's actual movement is a telemetry lie.
+class MetricsAgreementSweep : public ::testing::TestWithParam<HeapShape> {};
+
+TEST_P(MetricsAgreementSweep, MetricsMatchHeapSnapshotDiff) {
+  const verify::OracleConfig config = MakeConfig("lrucache", GetParam());
+  const verify::OracleResult result = verify::RunDifferentialOracle(config);
+  ASSERT_TRUE(result.match) << result.divergence;
+
+  ASSERT_TRUE(result.prediction_valid);
+  EXPECT_EQ(result.predicted_swapped_bytes, result.swapped_bytes);
+  EXPECT_EQ(result.predicted_memmoved_bytes, result.memmoved_bytes);
+
+  if (telemetry::kEnabled) {
+    EXPECT_EQ(result.metrics_swapped_bytes, result.swapped_bytes);
+    EXPECT_EQ(result.metrics_memmoved_bytes, result.memmoved_bytes);
+    EXPECT_EQ(result.metrics_swapped_bytes + result.metrics_memmoved_bytes,
+              result.predicted_swapped_bytes + result.predicted_memmoved_bytes);
+  }
+  if (GetParam() == HeapShape::kLargeHeavy) {
+    EXPECT_GT(result.predicted_swapped_bytes, 0u);
+  } else {
+    EXPECT_EQ(result.predicted_swapped_bytes, 0u);
+    EXPECT_GT(result.predicted_memmoved_bytes, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MetricsAgreementSweep,
+                         ::testing::Values(HeapShape::kSmallOnly,
+                                           HeapShape::kLargeHeavy),
+                         [](const ::testing::TestParamInfo<HeapShape>& info) {
+                           return info.param == HeapShape::kSmallOnly
+                                      ? "SmallOnly"
+                                      : "LargeHeavy";
+                         });
 
 // Sensitivity check: silently dropping one displaced page move in the swap
 // arm must make the digests diverge. If this ever passes with match == true,

@@ -214,6 +214,103 @@ TEST(SwapVaProperty, AggregationIsSemanticallyTransparent) {
   }
 }
 
+// Telemetry property: for any heap shape the trace's per-phase span
+// durations sum bit-exactly to their cycle span's duration, and cycles tile
+// the collector's timeline with no gaps (the spans are laid out from the
+// same GcCycleRecord the pause accounting reads, summed in the same order).
+TEST(TelemetryProperty, PhaseSpansPartitionCycleSpans) {
+  if (!telemetry::kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  Rng rng(41);
+  const char* const kWorkloads[] = {"lrucache", "sparse.large", "bisort",
+                                    "compress"};
+  for (const char* workload : kWorkloads) {
+    telemetry::TraceRecorder recorder;
+    workloads::RunConfig config;
+    config.workload = workload;
+    config.iterations = 10 + static_cast<unsigned>(rng.NextBelow(10));
+    config.gc_threads = 1 + static_cast<unsigned>(rng.NextBelow(4));
+    config.machine_cores = 8;
+    config.heap_factor = 1.2 + 0.1 * static_cast<double>(rng.NextBelow(4));
+    config.trace_recorder = &recorder;
+    const workloads::RunResult result = workloads::RunWorkload(config);
+    if (result.gc_count == 0) continue;
+
+    std::vector<telemetry::TraceEvent> cycles, phases;
+    for (const telemetry::TraceEvent& e : recorder.Snapshot()) {
+      if (e.cat == "gc") cycles.push_back(e);
+      if (e.cat == "gc.phase") phases.push_back(e);
+    }
+    ASSERT_EQ(cycles.size(), result.gc_count) << workload;
+    ASSERT_EQ(phases.size(), 5 * cycles.size()) << workload;
+    double clock = 0.0;
+    for (std::size_t c = 0; c < cycles.size(); ++c) {
+      ASSERT_EQ(cycles[c].ts, clock) << workload << " cycle " << c;
+      double dur_sum = 0.0;
+      for (std::size_t p = 0; p < 5; ++p) {
+        dur_sum += phases[5 * c + p].dur;
+      }
+      ASSERT_EQ(dur_sum, cycles[c].dur) << workload << " cycle " << c;
+      clock += cycles[c].dur;
+    }
+    // The pause recorder books each pause truncated to whole cycles, so the
+    // exact span timeline leads it by less than one cycle per collection.
+    ASSERT_GE(clock, result.gc_total_cycles) << workload;
+    ASSERT_LT(clock - result.gc_total_cycles,
+              static_cast<double>(result.gc_count))
+        << workload;
+  }
+}
+
+// Telemetry property: the IPI counters obey Eq. 2. Pinned compaction sends
+// exactly one process-wide shootdown per cycle (c - 1 remote IPIs each);
+// the naive per-call policy sends one shootdown per SwapVA kernel entry
+// (the l-bar-times-c regime the paper's Fig. 9 measures).
+TEST(TelemetryProperty, IpiCountersMatchEq2Bound) {
+  if (!telemetry::kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  constexpr unsigned kCores = 8;
+  auto run = [&](workloads::CollectorKind kind) {
+    workloads::RunConfig config;
+    config.workload = "sparse.large";
+    config.collector = kind;
+    config.iterations = 25;
+    config.gc_threads = 4;
+    config.machine_cores = kCores;
+    return workloads::RunWorkload(config);
+  };
+  auto counter = [](const workloads::RunResult& result, const char* name) {
+    for (const auto& [key, value] : result.machine_counters) {
+      if (key == name) return value;
+    }
+    return std::uint64_t{0};
+  };
+  const auto pinned = run(workloads::CollectorKind::kSvagc);
+  const auto naive = run(workloads::CollectorKind::kSvagcNaiveTlb);
+  ASSERT_GT(pinned.gc_count, 0u);
+  ASSERT_GT(pinned.swap_calls, 0u);
+
+  // Structural: a shootdown broadcast always IPIs every other core.
+  EXPECT_EQ(counter(pinned, "ipi.sent"),
+            counter(pinned, "ipi.broadcasts") * (kCores - 1));
+  EXPECT_EQ(counter(naive, "ipi.sent"),
+            counter(naive, "ipi.broadcasts") * (kCores - 1));
+
+  // Pinned regime: the only broadcasts are the one up-front
+  // SysFlushProcessTlbs per cycle -> c - 1 IPIs per collection.
+  EXPECT_EQ(counter(pinned, "flush.process"), pinned.gc_count);
+  EXPECT_EQ(counter(pinned, "ipi.broadcasts"), pinned.gc_count);
+  EXPECT_EQ(pinned.ipis_sent, pinned.gc_count * (kCores - 1));
+
+  // Naive regime: no process-wide flushes; every SwapVA kernel entry ends
+  // in its own global shootdown, so broadcasts track call count (l-bar per
+  // cycle), strictly above the pinned regime's one per cycle.
+  ASSERT_GT(naive.swap_calls, naive.gc_count);
+  EXPECT_EQ(counter(naive, "flush.process"), 0u);
+  EXPECT_EQ(counter(naive, "ipi.broadcasts"), naive.swap_calls);
+  EXPECT_GT(counter(naive, "ipi.broadcasts"),
+            counter(pinned, "ipi.broadcasts"));
+  EXPECT_GT(naive.ipis_sent, pinned.ipis_sent);
+}
+
 // Algorithm 2's gcd cycle-following rotation equals a reference std::rotate:
 // an overlapping swap of [lo, lo+P) with [lo+delta, lo+delta+P) rotates the
 // whole (P + delta)-page span left by delta — including the delta-page tail,

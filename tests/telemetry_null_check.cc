@@ -1,0 +1,72 @@
+// Null-recorder build check: compiles the telemetry sources with
+// SVAGC_TELEMETRY_DISABLED (the -DSVAGC_TELEMETRY=OFF configuration) and
+// asserts every mutation is an inert no-op. This target deliberately does
+// NOT link svagc_telemetry — it compiles metrics.cc / trace_recorder.cc /
+// trace_json.cc itself under the disabled define, so the enabled library
+// build and the disabled build never mix in one binary (ODR).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.h"
+#include "telemetry/trace_json.h"
+#include "telemetry/trace_recorder.h"
+
+namespace svagc {
+namespace {
+
+static_assert(!telemetry::kEnabled,
+              "telemetry_null_check must be compiled with "
+              "SVAGC_TELEMETRY_DISABLED");
+
+TEST(TelemetryNull, CountersAreInert) {
+  telemetry::MetricsRegistry reg;
+  telemetry::Counter& c = reg.counter("ipi.sent");
+  c.Add();
+  c.Add(100);
+  c.Store(7);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(reg.CounterValue("ipi.sent"), 0u);
+}
+
+TEST(TelemetryNull, HistogramsAreInert) {
+  telemetry::MetricsRegistry reg;
+  telemetry::Histogram& h = reg.histogram("gc.pause_cycles");
+  h.Record(1.0);
+  h.Record(2.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+}
+
+TEST(TelemetryNull, RecorderIsInert) {
+  telemetry::TraceRecorder recorder;
+  recorder.AddSpan("gc", "cycle", 1, 0, 0.0, 10.0);
+  EXPECT_EQ(recorder.size(), 0u);
+  EXPECT_TRUE(recorder.Snapshot().empty());
+}
+
+TEST(TelemetryNull, EnvRecorderIsDisabled) {
+  // Even with SVAGC_TRACE_OUT set, a disabled build never traces.
+  setenv("SVAGC_TRACE_OUT", "/tmp/should_never_be_written.json", 1);
+  EXPECT_EQ(telemetry::EnvTraceRecorder(), nullptr);
+  EXPECT_TRUE(telemetry::FlushEnvTraceRecorder());
+}
+
+TEST(TelemetryNull, JsonHelpersStillWork) {
+  // Export/parse are data-path helpers, independent of the kill switch —
+  // a disabled build can still read traces produced elsewhere.
+  const std::vector<telemetry::TraceEvent> events = {
+      {"gc", "cycle", 1, 0, 0.0, 2.0}};
+  const std::string json = telemetry::TraceToJson(events);
+  EXPECT_EQ(telemetry::ValidateTraceJson(json), "");
+  std::string error;
+  const auto parsed = telemetry::ParseTraceJson(json, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(*parsed, events);
+}
+
+}  // namespace
+}  // namespace svagc
