@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: modeled-cycle columns vs a checked-in baseline.
+
+Runs the named bench harnesses in smoke+JSON mode (the same configuration the
+bench_smoke ctest validates), extracts every numeric cell from columns whose
+header names a cycle/time quantity, and compares each against
+BENCH_baseline.json with a relative tolerance (default +/-15%). Modeled
+cycles are deterministic and host-independent, so the tolerance exists only
+to absorb deliberate cost-profile recalibrations; anything larger is a real
+regression (or a real improvement) and must be re-baselined on purpose:
+
+    python3 bench/check_regression.py --baseline bench/BENCH_baseline.json \
+        --bench-dir build/bench --rebaseline fig01_phase_breakdown ...
+
+and commit the updated BENCH_baseline.json with an explanation.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+# A column participates in the gate when its header mentions one of these
+# (case-insensitive): "cyc(k)", "kcyc", "ms", "cycles".
+CYCLE_TOKENS = ("cyc", "ms", "cycles")
+
+
+def is_cycle_column(header):
+    h = header.lower()
+    return any(tok in h for tok in CYCLE_TOKENS)
+
+
+def parse_number(cell):
+    """Returns float value of a purely numeric cell, else None."""
+    try:
+        return float(cell)
+    except ValueError:
+        return None
+
+
+def run_bench(bench_dir, name):
+    env = dict(os.environ)
+    env["SVAGC_BENCH_SMOKE"] = "1"
+    env["SVAGC_BENCH_JSON"] = "1"
+    path = os.path.join(bench_dir, name)
+    proc = subprocess.run(
+        [path], env=env, capture_output=True, text=True, timeout=600
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"{name} exited {proc.returncode}:\n{proc.stdout}{proc.stderr}"
+        )
+    tables = []
+    for line in proc.stdout.splitlines():
+        if not line.startswith("{"):
+            continue
+        table = json.loads(line)
+        if "id" in table and "headers" in table and "rows" in table:
+            tables.append(table)
+    if not tables:
+        raise RuntimeError(f"{name} emitted no JSON tables")
+    return tables
+
+
+def compare(name, baseline_tables, current_tables, tolerance, failures):
+    base_by_id = {t["id"]: t for t in baseline_tables}
+    cur_by_id = {t["id"]: t for t in current_tables}
+    for table_id, base in base_by_id.items():
+        cur = cur_by_id.get(table_id)
+        if cur is None:
+            failures.append(f"{name}: table '{table_id}' missing from output")
+            continue
+        if cur["headers"] != base["headers"]:
+            failures.append(
+                f"{name}/{table_id}: headers changed "
+                f"{base['headers']} -> {cur['headers']} (re-baseline needed)"
+            )
+            continue
+        # Rows are keyed by their first cell (the sweep variable).
+        cur_rows = {row[0]: row for row in cur["rows"]}
+        for base_row in base["rows"]:
+            key = base_row[0]
+            cur_row = cur_rows.get(key)
+            if cur_row is None:
+                failures.append(
+                    f"{name}/{table_id}: row '{key}' missing from output"
+                )
+                continue
+            for col, header in enumerate(base["headers"]):
+                if not is_cycle_column(header):
+                    continue
+                want = parse_number(base_row[col])
+                got = parse_number(cur_row[col])
+                if want is None:
+                    continue
+                if got is None:
+                    failures.append(
+                        f"{name}/{table_id} row '{key}' col '{header}': "
+                        f"non-numeric cell '{cur_row[col]}'"
+                    )
+                    continue
+                limit = tolerance * max(abs(want), 1e-9)
+                if abs(got - want) > limit:
+                    failures.append(
+                        f"{name}/{table_id} row '{key}' col '{header}': "
+                        f"{got} vs baseline {want} "
+                        f"(+/-{tolerance:.0%} allowed)"
+                    )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--bench-dir", required=True)
+    ap.add_argument("--tolerance", type=float, default=0.15)
+    ap.add_argument(
+        "--rebaseline",
+        action="store_true",
+        help="overwrite the baseline with the current output",
+    )
+    ap.add_argument("benches", nargs="+")
+    args = ap.parse_args()
+
+    current = {}
+    for name in args.benches:
+        current[name] = run_bench(args.bench_dir, name)
+        print(f"ran {name}: {len(current[name])} table(s)")
+
+    if args.rebaseline:
+        with open(args.baseline, "w") as f:
+            json.dump(current, f, indent=1, sort_keys=True)
+            f.write("\n")
+        print(f"baseline rewritten: {args.baseline}")
+        return 0
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    failures = []
+    for name in args.benches:
+        if name not in baseline:
+            failures.append(f"{name}: not in baseline (run --rebaseline)")
+            continue
+        compare(name, baseline[name], current[name], args.tolerance, failures)
+
+    if failures:
+        print(f"{len(failures)} bench regression(s):")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("all cycle columns within tolerance of the baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -258,6 +258,7 @@ int main(int argc, char** argv) {
       "fig15_app_throughput",
       "fig16_throughput_vs_baselines",
       "fig17_forward_scaling",
+      "fig18_huge_swap",
       "tab02_config",
       "tab03_cache_dtlb",
       "ablation_minor_copy",

@@ -17,6 +17,11 @@ struct MoveObjectConfig {
   bool use_swapva = true;      // off = pure memmove (Fig. 11 left bars)
   bool aggregate = true;       // batch swap requests into one syscall
   bool pmd_caching = true;
+  // Huge-entry swapping: let the kernel exchange whole PMD entries for
+  // 2 MiB-aligned request pairs. Pointless without the heap's matching
+  // huge_threshold_pages alignment class; off by default so every pre-huge
+  // figure reproduces bit-identically.
+  bool pmd_swapping = false;
   sim::TlbPolicy tlb_policy = sim::TlbPolicy::kLocalOnly;
   std::size_t max_batch = 64;  // requests per aggregated syscall
 };
@@ -50,6 +55,7 @@ class ObjectMover {
       : jvm_(jvm), config_(config) {
     batch_.reserve(config.max_batch);
     swap_options_.pmd_caching = config.pmd_caching;
+    swap_options_.pmd_swapping = config.pmd_swapping;
     swap_options_.tlb_policy = config.tlb_policy;
   }
 

@@ -74,17 +74,23 @@ namespace {
 
 // Step-1 reduction of one region. The destination layout of a region's live
 // objects depends on the region's (unknown) destination base only *until*
-// the first large object: small objects pack with no alignment, and the
-// first large object lands at AlignUp(entry + s0, page). Every subsequent
-// alignment decision is taken relative to that page-aligned base, so the
-// rest of the layout is entry-independent and can be precomputed as a fixed
-// byte count (`tail`). This is what makes an O(regions) prefix scan able to
-// reproduce Algorithm 3's address assignment exactly.
+// the first aligned object: small objects pack with no alignment, and the
+// first aligned object lands at AlignUp(entry + s0, align1). Alignments no
+// coarser than the base's own alignment commute with adding the base, so
+// after a 2 MiB-aligned jump the whole remaining layout is entry-independent.
+// The one wrinkle is a 4 KiB first jump followed later by a huge object: the
+// 2 MiB alignment does NOT commute with a base that is only page-aligned, so
+// the summary records the layout bytes up to that second jump (`mid`) and
+// the remainder relative to the 2 MiB-aligned second base (`tail`). Two
+// jumps suffice — there is no coarser class than 2 MiB. This is what keeps
+// the O(regions) prefix scan able to reproduce Algorithm 3's address
+// assignment exactly, huge class included.
 struct RegionSummary {
-  std::uint64_t small_prefix = 0;  // live bytes before the first large object
-  bool has_large = false;
-  std::uint64_t tail = 0;  // bytes from the first large object's page-aligned
-                           // destination to the region's layout end
+  std::uint64_t small_prefix = 0;  // live bytes before the first aligned object
+  std::uint64_t align1 = 0;  // 0 = none; else kPageSize or kHugePageSize
+  bool has_second = false;   // 2 MiB jump after a 4 KiB first jump
+  std::uint64_t mid = 0;     // layout bytes from the first base to that jump
+  std::uint64_t tail = 0;    // layout bytes after the final base
   std::uint64_t live_objects = 0;
   std::uint64_t live_bytes = 0;
 };
@@ -137,28 +143,41 @@ ForwardingResult ComputeForwardingParallel(rt::Jvm& jvm,
                          costs.heap_scan_per_byte *
                              static_cast<double>(hi - lo));
       RegionSummary& s = summaries[r];
-      std::uint64_t off = 0;  // layout offset past the first large object
+      // 0 = no aligned object yet; 1 = relative to a 4 KiB-aligned base;
+      // 2 = relative to a 2 MiB-aligned base (everything commutes).
+      int level = 0;
+      std::uint64_t off = 0;  // layout offset past the current base
       bitmap.ForEachMarkedInRange(lo, hi, [&](rt::vaddr_t addr) {
         ctx.account.Charge(sim::CostKind::kCompute, costs.forward_summary_obj);
         const std::uint64_t size = rt::ObjectView(as, addr).size();
         ++s.live_objects;
         s.live_bytes += size;
-        if (!s.has_large) {
-          if (heap.IsLargeObject(size)) {
-            s.has_large = true;
-            // The first large object sits at tail offset 0 (its destination
-            // is the page-aligned base itself); post-align after it.
-            off = AlignUp(size, sim::kPageSize);
+        const bool huge = heap.IsHugeObject(size);
+        const bool large = heap.IsLargeObject(size);
+        const std::uint64_t grain = huge ? sim::kHugePageSize : sim::kPageSize;
+        if (level == 0) {
+          if (large) {
+            // The first aligned object sits at offset 0 of the new base
+            // (its destination is the aligned base itself); post-align.
+            s.align1 = grain;
+            off = AlignUp(size, grain);
+            level = huge ? 2 : 1;
           } else {
             s.small_prefix += size;
           }
+        } else if (level == 1 && huge) {
+          // Second jump: a 2 MiB alignment relative to a base that is only
+          // page-aligned does not commute — defer it to the prefix scan.
+          s.has_second = true;
+          s.mid = off;
+          off = AlignUp(size, grain);
+          level = 2;
         } else {
-          // Offsets are relative to a page-aligned base, so AlignFor
-          // commutes with adding the base.
-          const std::uint64_t dst_off =
-              heap.IsLargeObject(size) ? AlignUp(off, sim::kPageSize) : off;
+          // Offsets are relative to a base at least as aligned as `grain`,
+          // so AlignFor commutes with adding the base.
+          const std::uint64_t dst_off = large ? AlignUp(off, grain) : off;
           off = dst_off + size;
-          if (heap.IsLargeObject(size)) off = AlignUp(off, sim::kPageSize);
+          if (large) off = AlignUp(off, grain);
         }
       });
       s.tail = off;
@@ -175,9 +194,15 @@ ForwardingResult ComputeForwardingParallel(rt::Jvm& jvm,
       ctx.account.Charge(sim::CostKind::kCompute, costs.forward_region);
       entries[r] = entry;
       const RegionSummary& s = summaries[r];
-      entry = s.has_large
-                  ? AlignUp(entry + s.small_prefix, sim::kPageSize) + s.tail
-                  : entry + s.small_prefix;
+      if (s.align1 == 0) {
+        entry += s.small_prefix;
+      } else {
+        rt::vaddr_t jump = AlignUp(entry + s.small_prefix, s.align1);
+        if (s.has_second) {
+          jump = AlignUp(jump + s.mid, sim::kHugePageSize);
+        }
+        entry = jump + s.tail;
+      }
       plan.live_objects += s.live_objects;
       plan.live_bytes += s.live_bytes;
     }

@@ -26,6 +26,15 @@ class DtlbSim {
   // code (one miss amortized over ~512 loads per page).
   void AccessRange(std::uint64_t vaddr, std::uint64_t bytes);
 
+  // Declares [lo, hi) to be backed by 2 MiB mappings: accesses inside the
+  // span are tagged per 2 MiB unit, so one entry covers 512 pages — the
+  // dTLB-reach effect of PMD leaves the huge-swap path preserves. Empty by
+  // default (every access tags at 4 KiB, the pre-huge behaviour).
+  void SetHugeSpan(std::uint64_t lo, std::uint64_t hi) {
+    huge_lo_ = lo;
+    huge_hi_ = hi;
+  }
+
   std::uint64_t accesses() const { return accesses_; }
   std::uint64_t l1_misses() const { return l1_misses_; }
   std::uint64_t stlb_misses() const { return stlb_misses_; }
@@ -54,8 +63,19 @@ class DtlbSim {
     bool LookupInsert(std::uint64_t vpn, std::uint64_t* clock);
   };
 
+  // Tag for the TLB entry covering vaddr: the vpn at 4 KiB granularity, or
+  // the unit number in a distinct key namespace inside the huge span.
+  std::uint64_t KeyFor(std::uint64_t vaddr) const {
+    if (vaddr >= huge_lo_ && vaddr < huge_hi_) {
+      return (vaddr >> sim::kHugePageShift) | (1ULL << 62);
+    }
+    return vaddr >> sim::kPageShift;
+  }
+
   Level l1_;
   Level stlb_;
+  std::uint64_t huge_lo_ = 0;
+  std::uint64_t huge_hi_ = 0;
   std::uint64_t clock_ = 0;
   std::uint64_t accesses_ = 0;
   std::uint64_t l1_misses_ = 0;

@@ -58,6 +58,12 @@ class MemoryHierarchy : public sim::MemTraceSink {
   Cache& llc() { return llc_; }
   DtlbSim& dtlb() { return dtlb_; }
 
+  // Forwarded to the DTLB: declares the huge-mapped virtual span (the heap,
+  // when the 2 MiB alignment class is enabled).
+  void SetHugeSpan(std::uint64_t lo, std::uint64_t hi) {
+    dtlb_.SetHugeSpan(lo, hi);
+  }
+
   void ResetCounters() {
     l1_.ResetCounters();
     l2_.ResetCounters();

@@ -7,10 +7,22 @@ namespace svagc::rt {
 Heap::Heap(sim::AddressSpace& as, const HeapConfig& config)
     : as_(as), config_(config), base_(config.base) {
   SVAGC_CHECK(IsAligned(base_, sim::kPageSize));
+  SVAGC_CHECK(config_.swap_threshold_pages >= 1);
+  if (huge_enabled()) {
+    // The huge class sits on top of the large class, and PMD leaves need
+    // the whole range to be 2 MiB-granular.
+    SVAGC_CHECK(config_.huge_threshold_pages >= config_.swap_threshold_pages);
+    SVAGC_CHECK(IsAligned(base_, sim::kHugePageSize));
+    const std::uint64_t capacity =
+        AlignUp(config.capacity, sim::kHugePageSize);
+    end_ = base_ + capacity;
+    top_ = base_;
+    as_.MapRangeHuge(base_, capacity);
+    return;
+  }
   const std::uint64_t capacity = AlignUp(config.capacity, sim::kPageSize);
   end_ = base_ + capacity;
   top_ = base_;
-  SVAGC_CHECK(config_.swap_threshold_pages >= 1);
   as_.MapRange(base_, capacity);
 }
 
@@ -30,7 +42,11 @@ vaddr_t Heap::AllocateRaw(std::uint64_t bytes) {
   if (large) {
     // Re-align the top so the next object begins on a fresh page and the
     // large object's page extent contains no other object (Alg. 3 line 19).
-    const vaddr_t tail = std::min<vaddr_t>(AlignUp(top_, sim::kPageSize), end_);
+    // Huge objects own their 2 MiB units outright, so their swaps stay at
+    // PMD granularity end to end.
+    const std::uint64_t grain =
+        IsHugeObject(bytes) ? sim::kHugePageSize : sim::kPageSize;
+    const vaddr_t tail = std::min<vaddr_t>(AlignUp(top_, grain), end_);
     if (tail > top_) {
       WriteFiller(top_, tail - top_);
       NoteAlignmentWaste(tail - top_);

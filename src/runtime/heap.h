@@ -23,6 +23,14 @@ struct HeapConfig {
   // SVAGC-family collectors require page alignment of large objects;
   // baseline collectors (ParallelGC/Shenandoah shapes) do not align.
   bool page_align_large = true;
+
+  // 2 MiB alignment class: when non-zero, the heap is mapped with PMD
+  // leaves over contiguous frames and objects of at least this many pages
+  // are allocated 2 MiB-aligned and tail-padded to 2 MiB, so MoveObject's
+  // swaps hit the kernel's PMD fast path. Must be >= swap_threshold_pages
+  // (huge objects are a subclass of large). 0 disables the class entirely —
+  // the default, keeping every pre-huge heap layout bit-identical.
+  std::uint64_t huge_threshold_pages = 0;
 };
 
 class Heap {
@@ -50,8 +58,21 @@ class Heap {
     return config_.page_align_large && bytes >= large_threshold_bytes();
   }
 
-  // IFSWAPALIGN (Algorithm 3): page-align the address for large objects.
+  bool huge_enabled() const { return config_.huge_threshold_pages != 0; }
+  std::uint64_t huge_threshold_bytes() const {
+    return config_.huge_threshold_pages * sim::kPageSize;
+  }
+  // The 2 MiB alignment class: a large object big enough that PMD-entry
+  // swapping beats 512 PTE exchanges per unit.
+  bool IsHugeObject(std::uint64_t bytes) const {
+    return huge_enabled() && config_.page_align_large &&
+           bytes >= huge_threshold_bytes();
+  }
+
+  // IFSWAPALIGN (Algorithm 3): page-align the address for large objects,
+  // 2 MiB-align it for the huge class.
   vaddr_t AlignFor(std::uint64_t bytes, vaddr_t address) const {
+    if (IsHugeObject(bytes)) return AlignUp(address, sim::kHugePageSize);
     return IsLargeObject(bytes) ? AlignUp(address, sim::kPageSize) : address;
   }
 

@@ -25,13 +25,37 @@ void AddressSpace::MapRange(vaddr_t vaddr, std::uint64_t bytes) {
   }
 }
 
+void AddressSpace::MapRangeHuge(vaddr_t vaddr, std::uint64_t bytes) {
+  SVAGC_CHECK(IsAligned(vaddr, kHugePageSize));
+  SVAGC_CHECK(IsAligned(bytes, kHugePageSize));
+  const std::uint64_t units = bytes >> kHugePageShift;
+  const std::uint64_t vpn0 = vaddr >> kPageShift;
+  for (std::uint64_t u = 0; u < units; ++u) {
+    table_.MapHuge(vpn0 + u * kPagesPerHuge,
+                   phys_.AllocContiguous(kPagesPerHuge));
+  }
+}
+
 void AddressSpace::UnmapRange(vaddr_t vaddr, std::uint64_t bytes) {
   SVAGC_CHECK(IsAligned(vaddr, kPageSize));
   SVAGC_CHECK(IsAligned(bytes, kPageSize));
   const std::uint64_t pages = bytes >> kPageShift;
   const std::uint64_t vpn0 = vaddr >> kPageShift;
-  for (std::uint64_t i = 0; i < pages; ++i) {
-    phys_.FreeFrame(table_.Unmap(vpn0 + i));
+  for (std::uint64_t i = 0; i < pages;) {
+    const std::uint64_t vpn = vpn0 + i;
+    // A whole huge-mapped unit inside the range comes out at PMD
+    // granularity; everything else (split units, partial coverage) is 4 KiB.
+    if ((vpn & kIndexMask) == 0 && pages - i >= kPagesPerHuge &&
+        table_.LookupHuge(vpn).has_value()) {
+      const frame_t base = table_.UnmapHuge(vpn);
+      for (std::uint64_t f = 0; f < kPagesPerHuge; ++f) {
+        phys_.FreeFrame(base + f);
+      }
+      i += kPagesPerHuge;
+    } else {
+      phys_.FreeFrame(table_.Unmap(vpn));
+      ++i;
+    }
   }
 }
 
@@ -49,10 +73,17 @@ std::byte* AddressSpace::HwPtr(CpuContext& ctx, vaddr_t vaddr) {
     SVAGC_DCHECK(table_.Lookup(vpn).has_value() &&
                  *table_.Lookup(vpn) == frame);
   } else {
-    const auto walked = table_.HardwareWalk(vpn, ctx.account, machine_.cost());
+    PageTable::HugeTranslation huge;
+    const auto walked =
+        table_.HardwareWalk(vpn, ctx.account, machine_.cost(), &huge);
     SVAGC_CHECK(walked.has_value());
     frame = *walked;
-    tlb.Insert(asid_, vpn, frame);
+    if (huge.huge) {
+      // One TLB entry covers the whole 2 MiB unit — the dTLB-reach win.
+      tlb.InsertHuge(asid_, vpn & ~kIndexMask, huge.unit_base_frame);
+    } else {
+      tlb.Insert(asid_, vpn, frame);
+    }
   }
   return phys_.FrameData(frame) + offset;
 }

@@ -31,6 +31,11 @@ class AddressSpace {
   // Eagerly maps [vaddr, vaddr+bytes), allocating fresh frames. vaddr and
   // bytes must be page-aligned (mmap semantics).
   void MapRange(vaddr_t vaddr, std::uint64_t bytes);
+  // Maps [vaddr, vaddr+bytes) with 2 MiB PMD leaves over contiguous frames
+  // (MAP_HUGETLB semantics); vaddr and bytes must be 2 MiB-aligned.
+  void MapRangeHuge(vaddr_t vaddr, std::uint64_t bytes);
+  // Tears down either kind of mapping: units still covered by a huge leaf
+  // are unmapped at PMD granularity, split units page-by-page.
   void UnmapRange(vaddr_t vaddr, std::uint64_t bytes);
   bool IsMapped(vaddr_t vaddr) const {
     return table_.Lookup(vaddr >> kPageShift).has_value();

@@ -21,6 +21,11 @@ inline constexpr std::uint64_t kPgdIndexShift = 4 * kLevelBits;       // bits 36
 
 inline constexpr std::uint64_t kIndexMask = kEntriesPerTable - 1;
 
+// 2 MiB huge pages: one PMD entry maps kPagesPerHuge base pages.
+inline constexpr std::uint64_t kHugePageShift = kPageShift + kLevelBits;  // 21
+inline constexpr std::uint64_t kHugePageSize = 1ULL << kHugePageShift;  // 2 MiB
+inline constexpr std::uint64_t kPagesPerHuge = kEntriesPerTable;        // 512
+
 using vaddr_t = std::uint64_t;
 using frame_t = std::uint64_t;  // physical frame number
 

@@ -38,9 +38,14 @@ enum class FaultPoint {
   // sched_setaffinity denied: SysPin returns kPinRefused and the caller must
   // fall back to per-call global shootdowns.
   kRefusePin,
+  // A huge-range swap faults between its PMD-swap half and its PTE-fallback
+  // half. The kernel rolls the already-exchanged PMD units back (PMD swaps
+  // are involutions) so the request is still all-or-nothing, then returns
+  // kFault with the usual partial-vector semantics.
+  kHugeSwapFault,
 };
 
-inline constexpr std::size_t kNumFaultPoints = 5;
+inline constexpr std::size_t kNumFaultPoints = 6;
 
 inline const char* FaultPointName(FaultPoint point) {
   switch (point) {
@@ -54,6 +59,8 @@ inline const char* FaultPointName(FaultPoint point) {
       return "force-unpin";
     case FaultPoint::kRefusePin:
       return "refuse-pin";
+    case FaultPoint::kHugeSwapFault:
+      return "huge-swap-fault";
   }
   return "?";
 }

@@ -16,7 +16,7 @@ std::uint64_t PteIndex(std::uint64_t vpn) { return Index(vpn, 0); }
 PageTable::PageTable() : pgd_(std::make_unique<PgdTable>()) {}
 PageTable::~PageTable() = default;
 
-PteTable* PageTable::ResolveLeaf(std::uint64_t vpn, bool create) const {
+PmdEntry* PageTable::ResolvePmdEntry(std::uint64_t vpn, bool create) const {
   // vpn layout (low to high): [pte:9][pmd:9][pud:9][p4d:9][pgd:9].
   const std::uint64_t pmd_i = Index(vpn, 1);
   const std::uint64_t pud_i = Index(vpn, 2);
@@ -38,12 +38,19 @@ PteTable* PageTable::ResolveLeaf(std::uint64_t vpn, bool create) const {
     if (!create) return nullptr;
     pmd_slot = std::make_unique<PmdTable>();
   }
-  auto& pte_slot = pmd_slot->entries[pmd_i];
-  if (!pte_slot) {
+  return &pmd_slot->entries[pmd_i];
+}
+
+PteTable* PageTable::ResolveLeaf(std::uint64_t vpn, bool create) const {
+  PmdEntry* entry = ResolvePmdEntry(vpn, create);
+  if (entry == nullptr) return nullptr;
+  if (!entry->table) {
+    // A huge-mapped unit has no PTE granularity until the leaf is split.
     if (!create) return nullptr;
-    pte_slot = std::make_unique<PteTable>();
+    SVAGC_CHECK(!entry->huge.present());
+    entry->table = std::make_unique<PteTable>();
   }
-  return pte_slot.get();
+  return entry->table.get();
 }
 
 void PageTable::Map(std::uint64_t vpn, frame_t frame) {
@@ -65,34 +72,82 @@ frame_t PageTable::Unmap(std::uint64_t vpn) {
   return frame;
 }
 
+void PageTable::MapHuge(std::uint64_t vpn, frame_t base_frame) {
+  SVAGC_CHECK((vpn & kIndexMask) == 0);
+  PmdEntry* entry = ResolvePmdEntry(vpn, /*create=*/true);
+  SVAGC_CHECK(!entry->table && !entry->huge.present());
+  entry->huge = Pte::Make(base_frame);
+  mapped_pages_ += kPagesPerHuge;
+}
+
+frame_t PageTable::UnmapHuge(std::uint64_t vpn) {
+  SVAGC_CHECK((vpn & kIndexMask) == 0);
+  PmdEntry* entry = ResolvePmdEntry(vpn, /*create=*/false);
+  SVAGC_CHECK(entry != nullptr && entry->huge.present());
+  const frame_t base = entry->huge.frame();
+  entry->huge = Pte::Empty();
+  mapped_pages_ -= kPagesPerHuge;
+  return base;
+}
+
+std::optional<frame_t> PageTable::LookupHuge(std::uint64_t vpn) const {
+  const PmdEntry* entry = ResolvePmdEntry(vpn, /*create=*/false);
+  if (entry == nullptr || !entry->huge.present()) return std::nullopt;
+  return entry->huge.frame();
+}
+
 std::optional<frame_t> PageTable::Lookup(std::uint64_t vpn) const {
-  const PteTable* leaf = ResolveLeaf(vpn, /*create=*/false);
-  if (leaf == nullptr) return std::nullopt;
-  const Pte pte = leaf->entries[PteIndex(vpn)];
+  const PmdEntry* entry = ResolvePmdEntry(vpn, /*create=*/false);
+  if (entry == nullptr) return std::nullopt;
+  if (entry->huge.present()) {
+    return entry->huge.frame() + PteIndex(vpn);
+  }
+  if (!entry->table) return std::nullopt;
+  const Pte pte = entry->table->entries[PteIndex(vpn)];
   if (!pte.present()) return std::nullopt;
   return pte.frame();
+}
+
+PmdEntry* PageTable::WalkToPmdEntry(std::uint64_t vpn, CycleAccount& acct,
+                                    const CostProfile& cost,
+                                    PmdCache* cache) const {
+  const std::uint64_t tag = vpn >> kLevelBits;
+  if (cache != nullptr && cache->tag == tag) {
+    // PMD cache hit: skip the four directory accesses (Fig. 7 step 1).
+    ++cache->hits;
+    return cache->entry;
+  }
+  // pgd_offset / p4d_offset / pud_offset / pmd_offset: four directory
+  // memory accesses.
+  acct.Charge(CostKind::kPageWalk, 4 * cost.pagetable_access);
+  PmdEntry* entry = ResolvePmdEntry(vpn, /*create=*/false);
+  SVAGC_CHECK(entry != nullptr);
+  if (cache != nullptr) {
+    ++cache->misses;
+    cache->tag = tag;
+    cache->entry = entry;
+  }
+  return entry;
 }
 
 PteTable* PageTable::WalkToLeaf(std::uint64_t vpn, CycleAccount& acct,
                                 const CostProfile& cost,
                                 PmdCache* cache) const {
-  const std::uint64_t tag = vpn >> kLevelBits;
-  if (cache != nullptr && cache->tag == tag) {
-    // PMD cache hit: skip the four directory accesses (Fig. 7 step 1).
-    ++cache->hits;
-    return cache->table;
+  PmdEntry* entry = WalkToPmdEntry(vpn, acct, cost, cache);
+  // PTE-granularity callers must have split any huge leaf beforehand.
+  SVAGC_CHECK(entry->table != nullptr);
+  return entry->table.get();
+}
+
+PteTable* PageTable::SplitHugeEntry(PmdEntry& entry) {
+  SVAGC_CHECK(entry.huge.present() && !entry.table);
+  const frame_t base = entry.huge.frame();
+  entry.table = std::make_unique<PteTable>();
+  for (std::uint64_t i = 0; i < kEntriesPerTable; ++i) {
+    entry.table->entries[i] = Pte::Make(base + i);
   }
-  // pgd_offset / p4d_offset / pud_offset / pmd_offset: four directory
-  // memory accesses.
-  acct.Charge(CostKind::kPageWalk, 4 * cost.pagetable_access);
-  PteTable* leaf = ResolveLeaf(vpn, /*create=*/false);
-  SVAGC_CHECK(leaf != nullptr);
-  if (cache != nullptr) {
-    ++cache->misses;
-    cache->tag = tag;
-    cache->table = leaf;
-  }
-  return leaf;
+  entry.huge = Pte::Empty();
+  return entry.table.get();
 }
 
 Pte* PageTable::GetPteLocked(std::uint64_t vpn, SpinLock** ptlp,
@@ -115,9 +170,56 @@ Pte* PageTable::GetPteRaw(std::uint64_t vpn) const {
 
 std::optional<frame_t> PageTable::HardwareWalk(std::uint64_t vpn,
                                                CycleAccount& acct,
-                                               const CostProfile& cost) const {
+                                               const CostProfile& cost,
+                                               HugeTranslation* huge) const {
   acct.Charge(CostKind::kTlbRefill, cost.tlb_refill);
-  return Lookup(vpn);
+  const PmdEntry* entry = ResolvePmdEntry(vpn, /*create=*/false);
+  if (entry == nullptr) return std::nullopt;
+  if (entry->huge.present()) {
+    if (huge != nullptr) {
+      huge->huge = true;
+      huge->unit_base_frame = entry->huge.frame();
+    }
+    return entry->huge.frame() + PteIndex(vpn);
+  }
+  if (!entry->table) return std::nullopt;
+  const Pte pte = entry->table->entries[PteIndex(vpn)];
+  if (!pte.present()) return std::nullopt;
+  return pte.frame();
+}
+
+namespace {
+
+template <typename F>
+void ForEachPmdEntry(const PgdTable& pgd, F&& f) {
+  for (const auto& p4d : pgd.entries) {
+    if (!p4d) continue;
+    for (const auto& pud : p4d->entries) {
+      if (!pud) continue;
+      for (const auto& pmd : pud->entries) {
+        if (!pmd) continue;
+        for (const PmdEntry& entry : pmd->entries) f(entry);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t PageTable::CountAliasedPmdEntries() const {
+  std::uint64_t aliased = 0;
+  ForEachPmdEntry(*pgd_, [&](const PmdEntry& entry) {
+    if (entry.table && entry.huge.present()) ++aliased;
+  });
+  return aliased;
+}
+
+std::uint64_t PageTable::CountHugeLeaves() const {
+  std::uint64_t leaves = 0;
+  ForEachPmdEntry(*pgd_, [&](const PmdEntry& entry) {
+    if (entry.huge.present()) ++leaves;
+  });
+  return leaves;
 }
 
 }  // namespace svagc::sim

@@ -5,6 +5,11 @@
 // spinlock each (Linux's split page-table locks); Algorithm 1's
 // pte_offset_map_lock / pte_unmap_unlock pairing is preserved in
 // GetPteLocked / UnlockPte.
+//
+// PMD entries are real leaves too: an entry either points at a PteTable or
+// is a 2 MiB huge leaf mapping kPagesPerHuge contiguous frames (never both —
+// the CheckHugeMappingConsistency invariant). Huge leaves can be demoted to
+// a PteTable (a THP-style split) when a swap needs PTE granularity.
 #pragma once
 
 #include <array>
@@ -39,8 +44,18 @@ struct PteTable {
   std::array<Pte, kEntriesPerTable> entries{};
 };
 
+// One PMD slot: either a pointer to a PteTable (4 KiB mappings) or a huge
+// leaf whose frame() is the base of kPagesPerHuge physically-contiguous
+// frames (vpn i inside the unit resolves to huge.frame() + (i & kIndexMask)).
+// Exactly one of {table, huge.present()} may be set; both at once is the
+// aliasing bug CheckHugeMappingConsistency exists to catch.
+struct PmdEntry {
+  std::unique_ptr<PteTable> table;
+  Pte huge = Pte::Empty();
+};
+
 struct PmdTable {
-  std::array<std::unique_ptr<PteTable>, kEntriesPerTable> entries;
+  std::array<PmdEntry, kEntriesPerTable> entries;
 };
 struct PudTable {
   std::array<std::unique_ptr<PmdTable>, kEntriesPerTable> entries;
@@ -52,11 +67,13 @@ struct PgdTable {
   std::array<std::unique_ptr<P4dTable>, kEntriesPerTable> entries;
 };
 
-// Caches the leaf table resolved for the previous page so sequential swaps
-// skip the PGD->P4D->PUD->PMD part of the walk (paper §III-B, Fig. 7).
+// Caches the PMD entry resolved for the previous page so sequential swaps
+// skip the PGD->P4D->PUD->PMD part of the walk (paper §III-B, Fig. 7). The
+// entry pointer is stable (it lives inside the PmdTable array), so the cache
+// survives huge-leaf splits that happen under the same tag.
 struct PmdCache {
   std::uint64_t tag = ~0ULL;  // vpn >> kLevelBits (2 MiB granule)
-  PteTable* table = nullptr;
+  PmdEntry* entry = nullptr;
 
   // Effectiveness tally (a hit saves four directory accesses); WalkToLeaf
   // bumps these and the kernel drains them into "pmd.hits"/"pmd.misses".
@@ -65,7 +82,7 @@ struct PmdCache {
 
   void Invalidate() {
     tag = ~0ULL;
-    table = nullptr;
+    entry = nullptr;
   }
 };
 
@@ -84,9 +101,24 @@ class PageTable {
   // Removes the mapping; returns the previously mapped frame.
   frame_t Unmap(std::uint64_t vpn);
 
+  // Establishes a 2 MiB huge leaf: vpn must be kPagesPerHuge-aligned and
+  // base_frame the first of kPagesPerHuge contiguous frames. The unit must
+  // have neither a PteTable nor an existing huge leaf.
+  void MapHuge(std::uint64_t vpn, frame_t base_frame);
+
+  // Removes a huge leaf (the unit must currently be huge-mapped); returns
+  // the base frame. Units that have since been split must be torn down with
+  // per-page Unmap instead.
+  frame_t UnmapHuge(std::uint64_t vpn);
+
+  // Base frame of the huge leaf covering vpn, or nullopt when the unit is
+  // not huge-mapped (unpopulated or split to PTEs).
+  std::optional<frame_t> LookupHuge(std::uint64_t vpn) const;
+
   // Read-only lookup used by the TLB-refill path. Returns nullopt when the
-  // page is not present. Thread-safe against concurrent PTE *value* updates
-  // (the swap paths) because leaf tables are never deallocated while mapped.
+  // page is not present. Resolves through both PteTable leaves and huge
+  // leaves. Thread-safe against concurrent PTE *value* updates (the swap
+  // paths) because leaf tables are never deallocated while mapped.
   std::optional<frame_t> Lookup(std::uint64_t vpn) const;
 
   // Algorithm 1's GETPTE: walks the tree charging modeled cycles, locks the
@@ -99,23 +131,54 @@ class PageTable {
   // the leaf table without taking its lock. SwapVA uses this to lock the two
   // PTEs of a pair in a deadlock-free (address-ordered) fashion, the
   // equivalent of Linux checking ptl1 == ptl2 before double-locking.
+  // Aborts if the unit is huge-mapped — PTE-granularity callers must split
+  // first (see SplitHugeEntry).
   PteTable* WalkToLeaf(std::uint64_t vpn, CycleAccount& acct,
                        const CostProfile& cost, PmdCache* cache) const;
+
+  // Costed directory walk that stops at the PMD entry itself — the unit of
+  // huge-entry swapping. Honors the PMD cache exactly like WalkToLeaf.
+  PmdEntry* WalkToPmdEntry(std::uint64_t vpn, CycleAccount& acct,
+                           const CostProfile& cost, PmdCache* cache) const;
+
+  // THP-style demotion: replaces a huge leaf with a PteTable whose 512 PTEs
+  // map base+0 .. base+511. Uncosted — the kernel charges the entry writes.
+  // Returns the new leaf table.
+  static PteTable* SplitHugeEntry(PmdEntry& entry);
 
   // pte_unmap_unlock.
   static void UnlockPte(SpinLock* ptlp) { ptlp->unlock(); }
 
-  // Uncosted variant for kernel-internal bookkeeping and tests.
+  // Uncosted variant for kernel-internal bookkeeping and tests. Returns
+  // nullptr when the unit has no PteTable (unpopulated or huge-mapped).
   Pte* GetPteRaw(std::uint64_t vpn) const;
 
+  // Result detail for HardwareWalk: set when the translation resolved
+  // through a huge leaf, so the TLB can install a 2 MiB entry.
+  struct HugeTranslation {
+    bool huge = false;
+    frame_t unit_base_frame = kInvalidFrame;
+  };
+
   // Walks the tree without locking, charging only walk costs — models the
-  // hardware walker on a TLB miss.
+  // hardware walker on a TLB miss. `huge`, when non-null, reports whether
+  // the translation came from a huge leaf.
   std::optional<frame_t> HardwareWalk(std::uint64_t vpn, CycleAccount& acct,
-                                      const CostProfile& cost) const;
+                                      const CostProfile& cost,
+                                      HugeTranslation* huge = nullptr) const;
 
   std::uint64_t mapped_pages() const { return mapped_pages_; }
 
+  // Verification walks over every populated PMD entry (uncosted).
+  // CountAliasedPmdEntries returns the number of entries carrying BOTH a
+  // PteTable and a huge leaf — any non-zero count is the aliasing corruption
+  // the CheckHugeMappingConsistency invariant exists to catch.
+  std::uint64_t CountAliasedPmdEntries() const;
+  // Number of present 2 MiB huge leaves.
+  std::uint64_t CountHugeLeaves() const;
+
  private:
+  PmdEntry* ResolvePmdEntry(std::uint64_t vpn, bool create) const;
   PteTable* ResolveLeaf(std::uint64_t vpn, bool create) const;
 
   std::unique_ptr<PgdTable> pgd_;

@@ -1,5 +1,8 @@
 #include "simkernel/phys_mem.h"
 
+#include <algorithm>
+#include <functional>
+
 #include "support/align.h"
 
 namespace svagc::sim {
@@ -20,6 +23,42 @@ frame_t PhysicalMemory::AllocFrame() {
   const frame_t frame = free_list_.back();
   free_list_.pop_back();
   return frame;
+}
+
+frame_t PhysicalMemory::AllocContiguous(std::uint64_t count) {
+  SVAGC_CHECK(count > 0);
+  SpinLockGuard guard(lock_);
+  SVAGC_CHECK(free_list_.size() >= count);
+  // Keep the allocator's lowest-frame-first discipline: sorted descending,
+  // the back of the list stays the lowest free frame for AllocFrame.
+  std::sort(free_list_.begin(), free_list_.end(), std::greater<frame_t>());
+  if (count == 1) {
+    const frame_t frame = free_list_.back();
+    free_list_.pop_back();
+    return frame;
+  }
+  const std::size_t n = free_list_.size();
+  // Descending order puts consecutive frames at consecutive indices; walk
+  // from the low end (back) and take the first run of `count`.
+  std::size_t low_idx = n - 1;  // index of the current run's base frame
+  std::size_t run = 1;
+  for (std::size_t j = n - 1; j > 0; --j) {
+    if (free_list_[j - 1] == free_list_[j] + 1) {
+      ++run;
+    } else {
+      low_idx = j - 1;
+      run = 1;
+    }
+    if (run == count) {
+      const frame_t base = free_list_[low_idx];
+      free_list_.erase(free_list_.begin() + static_cast<std::ptrdiff_t>(j - 1),
+                       free_list_.begin() +
+                           static_cast<std::ptrdiff_t>(low_idx + 1));
+      return base;
+    }
+  }
+  SVAGC_CHECK(false && "no contiguous run of free frames");
+  return kInvalidFrame;
 }
 
 void PhysicalMemory::FreeFrame(frame_t frame) {

@@ -30,6 +30,12 @@ class PhysicalMemory {
   frame_t AllocFrame();
   void FreeFrame(frame_t frame);
 
+  // Allocates `count` physically-contiguous frames and returns the base —
+  // the backing a 2 MiB PMD leaf needs. Setup-time only (address-space
+  // construction, like hugetlbfs reservation); aborts when no contiguous
+  // run exists. Freed frame-by-frame with FreeFrame.
+  frame_t AllocContiguous(std::uint64_t count);
+
   std::byte* FrameData(frame_t frame) {
     SVAGC_DCHECK(frame < total_frames_);
     return backing_.get() + (frame << kPageShift);

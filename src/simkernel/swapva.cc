@@ -1,6 +1,7 @@
 #include "simkernel/swapva.h"
 
 #include <numeric>
+#include <utility>
 
 #include "support/align.h"
 
@@ -13,6 +14,14 @@ namespace {
 std::uint64_t FindSwapPlace(std::uint64_t i, std::uint64_t delta,
                             std::uint64_t pages) {
   return i < delta ? i + pages : i - delta;
+}
+
+// Exchanges the full contents of two PMD slots — table pointer and huge
+// leaf alike. One entry write remaps 2 MiB regardless of how the unit is
+// populated; involutive, so the fault path can undo it by re-applying.
+void ExchangePmdEntries(PmdEntry& ea, PmdEntry& eb) {
+  std::swap(ea.table, eb.table);
+  std::swap(ea.huge.value, eb.huge.value);
 }
 
 }  // namespace
@@ -51,7 +60,10 @@ SysStatus Kernel::SysSwapVa(AddressSpace& as, CpuContext& ctx, vaddr_t a,
   if (hi - lo < pages * kPageSize) {
     SwapOverlap(as, ctx, lo, hi, pages, opts);
   } else {
-    SwapDisjoint(as, ctx, a, b, pages, opts);
+    const SysStatus status = SwapDisjoint(as, ctx, a, b, pages, opts);
+    // A huge-swap fault rolled the PMD half back: semantically no work was
+    // done, so — as with kSwapVaFault — nothing needs flushing.
+    if (status != SysStatus::kOk) return status;
     ApplyEndOfCallFlush(as, ctx, opts);
     return SysStatus::kOk;
   }
@@ -92,14 +104,22 @@ SwapVecResult Kernel::SysSwapVaVec(AddressSpace& as, CpuContext& ctx,
       result.status = SysStatus::kFault;
       return result;
     }
-    any = true;
     const vaddr_t lo = req.a < req.b ? req.a : req.b;
     const vaddr_t hi = req.a < req.b ? req.b : req.a;
     if (hi - lo < req.pages * kPageSize) {
       SwapOverlap(as, ctx, lo, hi, req.pages, opts);
     } else {
-      SwapDisjoint(as, ctx, req.a, req.b, req.pages, opts);
+      const SysStatus status =
+          SwapDisjoint(as, ctx, req.a, req.b, req.pages, opts);
+      if (status != SysStatus::kOk) {
+        // The faulting request was rolled back; the applied prefix still
+        // needs its flush (per-request atomicity, as for kSwapVaFault).
+        if (any) ApplyEndOfCallFlush(as, ctx, opts);
+        result.status = status;
+        return result;
+      }
     }
+    any = true;
     ++result.completed;
   }
   if (any) ApplyEndOfCallFlush(as, ctx, opts);
@@ -139,9 +159,26 @@ void Kernel::SysUnpin(CpuContext& ctx) {
   ctx.pinned = false;
 }
 
-void Kernel::SwapDisjoint(AddressSpace& as, CpuContext& ctx, vaddr_t a,
-                          vaddr_t b, std::uint64_t pages,
-                          const SwapVaOptions& opts) {
+PteTable* Kernel::LeafForPteSwap(PageTable& table, std::uint64_t vpn,
+                                 CpuContext& ctx, PmdCache* cache) {
+  PmdEntry* entry =
+      table.WalkToPmdEntry(vpn, ctx.account, machine_.cost(), cache);
+  if (entry->huge.present()) {
+    // THP-style demotion: the unit loses its huge leaf and gains 512 PTEs,
+    // all of which are real entry writes.
+    ctx.account.Charge(CostKind::kPteUpdate,
+                       kEntriesPerTable * machine_.cost().pte_update);
+    PageTable::SplitHugeEntry(*entry);
+    pmd_splits_.fetch_add(1, std::memory_order_relaxed);
+    ctr_pmd_splits_.Add();
+  }
+  SVAGC_CHECK(entry->table != nullptr);
+  return entry->table.get();
+}
+
+SysStatus Kernel::SwapDisjoint(AddressSpace& as, CpuContext& ctx, vaddr_t a,
+                               vaddr_t b, std::uint64_t pages,
+                               const SwapVaOptions& opts) {
   PageTable& table = as.page_table();
   const CostProfile& cost = machine_.cost();
   // Two independent PMD caches: the source and destination streams each walk
@@ -152,11 +189,51 @@ void Kernel::SwapDisjoint(AddressSpace& as, CpuContext& ctx, vaddr_t a,
 
   const std::uint64_t vpn_a0 = a >> kPageShift;
   const std::uint64_t vpn_b0 = b >> kPageShift;
-  for (std::uint64_t i = 0; i < pages; ++i) {
+
+  // PMD fast path: both ranges 2 MiB-aligned — exchange whole PMD entries
+  // for every fully covered unit (1 entry write per 2 MiB instead of 512),
+  // then fall through to the PTE loop for the sub-unit tail.
+  std::uint64_t pmd_units = 0;
+  if (opts.pmd_swapping && IsAligned(a, kHugePageSize) &&
+      IsAligned(b, kHugePageSize)) {
+    pmd_units = pages / kPagesPerHuge;
+    for (std::uint64_t u = 0; u < pmd_units; ++u) {
+      PmdEntry* ea = table.WalkToPmdEntry(vpn_a0 + u * kPagesPerHuge,
+                                          ctx.account, cost, pca);
+      PmdEntry* eb = table.WalkToPmdEntry(vpn_b0 + u * kPagesPerHuge,
+                                          ctx.account, cost, pcb);
+      // pmd_offset read on both sides, one lock, one entry-write exchange.
+      ctx.account.Charge(CostKind::kPageWalk, 2 * cost.pte_access);
+      ctx.account.Charge(CostKind::kPteLock, cost.pte_lock_pair);
+      ExchangePmdEntries(*ea, *eb);
+      ctx.account.Charge(CostKind::kPteUpdate, cost.pte_update);
+    }
+    // Injection opportunity between the PMD-swap half and the PTE-fallback
+    // half of a huge-range request.
+    if (pmd_units > 0 && Inject(FaultPoint::kHugeSwapFault)) {
+      // PMD exchanges are involutions: re-applying them restores the
+      // original mappings, making the faulted request all-or-nothing. The
+      // undo writes are real entry writes and charged as such.
+      for (std::uint64_t u = pmd_units; u-- > 0;) {
+        PmdEntry* ea = table.WalkToPmdEntry(vpn_a0 + u * kPagesPerHuge,
+                                            ctx.account, cost, pca);
+        PmdEntry* eb = table.WalkToPmdEntry(vpn_b0 + u * kPagesPerHuge,
+                                            ctx.account, cost, pcb);
+        ExchangePmdEntries(*ea, *eb);
+        ctx.account.Charge(CostKind::kPteUpdate, cost.pte_update);
+      }
+      DrainPmdTally(pca);
+      DrainPmdTally(pcb);
+      return SysStatus::kFault;
+    }
+  }
+
+  const std::uint64_t first_page = pmd_units * kPagesPerHuge;
+  for (std::uint64_t i = first_page; i < pages; ++i) {
     const std::uint64_t vpn_a = vpn_a0 + i;
     const std::uint64_t vpn_b = vpn_b0 + i;
-    PteTable* leaf_a = table.WalkToLeaf(vpn_a, ctx.account, cost, pca);
-    PteTable* leaf_b = table.WalkToLeaf(vpn_b, ctx.account, cost, pcb);
+    PteTable* leaf_a = LeafForPteSwap(table, vpn_a, ctx, pca);
+    PteTable* leaf_b = LeafForPteSwap(table, vpn_b, ctx, pcb);
     // pte_offset_map_lock on both PTEs; same-leaf pairs share one split-PTL
     // and cross-leaf pairs are locked in address order (deadlock-free
     // against concurrent GC workers).
@@ -188,8 +265,18 @@ void Kernel::SwapDisjoint(AddressSpace& as, CpuContext& ctx, vaddr_t a,
   }
   pages_swapped_.fetch_add(pages, std::memory_order_relaxed);
   ctr_pages_.Add(pages);
+  if (pmd_units != 0) {
+    pmd_swaps_.fetch_add(pmd_units, std::memory_order_relaxed);
+    ctr_pmd_swaps_.Add(pmd_units);
+  }
+  const std::uint64_t tail_pages = pages - first_page;
+  if (tail_pages != 0) {
+    pte_swaps_.fetch_add(tail_pages, std::memory_order_relaxed);
+    ctr_pte_swaps_.Add(tail_pages);
+  }
   DrainPmdTally(pca);
   DrainPmdTally(pcb);
+  return SysStatus::kOk;
 }
 
 void Kernel::SwapOverlap(AddressSpace& as, CpuContext& ctx, vaddr_t lo,
@@ -203,14 +290,73 @@ void Kernel::SwapOverlap(AddressSpace& as, CpuContext& ctx, vaddr_t lo,
 
   const std::uint64_t delta = (hi - lo) >> kPageShift;  // addIdx2
   const std::uint64_t span = pages + delta;             // pages touched
-  const std::uint64_t cycles = std::gcd(delta, pages);  // upCurIdx
   const std::uint64_t vpn0 = lo >> kPageShift;
 
+  // PMD-granule rotation: when the whole span is 2 MiB-granular and every
+  // unit still carries a huge leaf, rotate the PMD entries themselves — one
+  // entry write and one invalidation per 2 MiB. The all-huge requirement
+  // guarantees no 4 KiB TLB entries cover the span on this core, so the
+  // per-unit flush is exactly the right invalidation granularity.
+  if (opts.pmd_swapping && IsAligned(lo, kHugePageSize) &&
+      IsAligned(hi, kHugePageSize) && pages % kPagesPerHuge == 0) {
+    const std::uint64_t units = pages / kPagesPerHuge;
+    const std::uint64_t delta_u = delta / kPagesPerHuge;
+    const std::uint64_t span_u = units + delta_u;
+    bool all_huge = true;
+    for (std::uint64_t u = 0; u < span_u && all_huge; ++u) {
+      all_huge = table.LookupHuge(vpn0 + u * kPagesPerHuge).has_value();
+    }
+    if (all_huge) {
+      const std::uint64_t cycles = std::gcd(delta_u, units);
+      auto unit_entry = [&](std::uint64_t u) -> PmdEntry* {
+        PmdEntry* entry = table.WalkToPmdEntry(vpn0 + u * kPagesPerHuge,
+                                               ctx.account, cost, pc);
+        ctx.account.Charge(CostKind::kPageWalk, cost.pte_access);
+        return entry;
+      };
+      auto flush_unit = [&](std::uint64_t u) {
+        ctx.account.Charge(CostKind::kTlbFlushPage, cost.tlb_flush_page);
+        local_tlb.FlushPage(as.asid(), vpn0 + u * kPagesPerHuge);
+      };
+      for (std::uint64_t cur = 0; cur < cycles; ++cur) {
+        PmdEntry* e_cur = unit_entry(cur);
+        PmdEntry temp{std::move(e_cur->table), e_cur->huge};
+        std::uint64_t k = FindSwapPlace(cur, delta_u, units);
+        while (k != cur) {
+          PmdEntry* e_k = unit_entry(k);
+          PmdEntry k_temp{std::move(e_k->table), e_k->huge};
+          e_k->table = std::move(temp.table);
+          e_k->huge = temp.huge;
+          ctx.account.Charge(CostKind::kPteUpdate, cost.pte_update);
+          flush_unit(k);
+          temp.table = std::move(k_temp.table);
+          temp.huge = k_temp.huge;
+          k = FindSwapPlace(k, delta_u, units);
+        }
+        e_cur->table = std::move(temp.table);
+        e_cur->huge = temp.huge;
+        ctx.account.Charge(CostKind::kPteUpdate, cost.pte_update);
+        flush_unit(cur);
+      }
+      pages_swapped_.fetch_add(span, std::memory_order_relaxed);
+      ctr_pages_.Add(span);
+      pmd_swaps_.fetch_add(span_u, std::memory_order_relaxed);
+      ctr_pmd_swaps_.Add(span_u);
+      DrainPmdTally(pc);
+      return;
+    }
+  }
+
+  const std::uint64_t cycles = std::gcd(delta, pages);  // upCurIdx
+
   auto locked_pte_value = [&](std::uint64_t idx) -> Pte* {
-    SpinLock* ptl = nullptr;
-    Pte* pte = table.GetPteLocked(vpn0 + idx, &ptl, ctx.account, cost, pc);
-    PageTable::UnlockPte(ptl);  // single-writer phase; lock pairs as in Alg. 1
-    return pte;
+    PteTable* leaf = LeafForPteSwap(table, vpn0 + idx, ctx, pc);
+    // pte_offset_map_lock; single-writer phase, lock pairs as in Alg. 1.
+    ctx.account.Charge(CostKind::kPageWalk, cost.pte_access);
+    ctx.account.Charge(CostKind::kPteLock, cost.pte_lock_pair);
+    leaf->lock.lock();
+    leaf->lock.unlock();
+    return &leaf->entries[(vpn0 + idx) & kIndexMask];
   };
   auto flush_page = [&](std::uint64_t idx) {
     ctx.account.Charge(CostKind::kTlbFlushPage, cost.tlb_flush_page);
@@ -236,6 +382,8 @@ void Kernel::SwapOverlap(AddressSpace& as, CpuContext& ctx, vaddr_t lo,
   }
   pages_swapped_.fetch_add(span, std::memory_order_relaxed);
   ctr_pages_.Add(span);
+  pte_swaps_.fetch_add(span, std::memory_order_relaxed);
+  ctr_pte_swaps_.Add(span);
   DrainPmdTally(pc);
 }
 

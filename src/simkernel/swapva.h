@@ -75,6 +75,13 @@ struct SwapVaOptions {
   bool pmd_caching = true;
   TlbPolicy tlb_policy = TlbPolicy::kGlobalPerCall;
 
+  // Huge-entry swapping: when both ranges are 2 MiB-aligned, exchange whole
+  // PMD entries (1 entry write per 2 MiB instead of 512) for every fully
+  // covered unit; remainder pages and unaligned calls fall back to the PTE
+  // path, splitting any huge leaf they meet (swapva.pmd_splits). Off by
+  // default so every pre-huge figure reproduces bit-identically.
+  bool pmd_swapping = false;
+
   // Security extension (paper §III-B): "to prevent data breaches between
   // threads, the system call can be extended to clean up memory after each
   // swapping". When set, the frames that land under the *source* range
@@ -107,6 +114,9 @@ class Kernel {
         ctr_flush_process_(machine.metrics().counter("flush.process")),
         ctr_pmd_hits_(machine.metrics().counter("pmd.hits")),
         ctr_pmd_misses_(machine.metrics().counter("pmd.misses")),
+        ctr_pmd_swaps_(machine.metrics().counter("swapva.pmd_swaps")),
+        ctr_pmd_splits_(machine.metrics().counter("swapva.pmd_splits")),
+        ctr_pte_swaps_(machine.metrics().counter("swapva.pte_swaps")),
         hist_vec_len_(machine.metrics().histogram("swapva.vec_len")) {}
 
   Machine& machine() { return machine_; }
@@ -151,15 +161,36 @@ class Kernel {
   std::uint64_t pages_swapped() const {
     return pages_swapped_.load(std::memory_order_relaxed);
   }
+  // Huge-path tallies. Invariant (the property tests rely on it):
+  //   pmd_swaps() * kPagesPerHuge + pte_swaps() == pages_swapped().
+  std::uint64_t pmd_swaps() const {
+    return pmd_swaps_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t pmd_splits() const {
+    return pmd_splits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t pte_swaps() const {
+    return pte_swaps_.load(std::memory_order_relaxed);
+  }
 
  private:
-  // Algorithm 1: disjoint ranges, pairwise PTE exchange.
-  void SwapDisjoint(AddressSpace& as, CpuContext& ctx, vaddr_t a, vaddr_t b,
-                    std::uint64_t pages, const SwapVaOptions& opts);
+  // Algorithm 1: disjoint ranges, pairwise PTE exchange — plus the PMD
+  // fast path for 2 MiB-aligned range pairs. Returns kFault when the
+  // kHugeSwapFault injection fires (after rolling the PMD half back).
+  SysStatus SwapDisjoint(AddressSpace& as, CpuContext& ctx, vaddr_t a,
+                         vaddr_t b, std::uint64_t pages,
+                         const SwapVaOptions& opts);
 
   // Algorithm 2: overlapping ranges, gcd cycle rotation, O(pages + delta).
+  // Rotates whole PMD entries when the span is 2 MiB-granular and every
+  // unit is huge-mapped.
   void SwapOverlap(AddressSpace& as, CpuContext& ctx, vaddr_t lo, vaddr_t hi,
                    std::uint64_t pages, const SwapVaOptions& opts);
+
+  // Walks to the leaf table for a PTE-granularity swap, demoting a huge
+  // leaf first if one covers vpn (THP-style split, swapva.pmd_splits).
+  PteTable* LeafForPteSwap(PageTable& table, std::uint64_t vpn,
+                           CpuContext& ctx, PmdCache* cache);
 
   void ApplyEndOfCallFlush(AddressSpace& as, CpuContext& ctx,
                            const SwapVaOptions& opts);
@@ -185,6 +216,9 @@ class Kernel {
   // harnesses have a single read path.
   std::atomic<std::uint64_t> swapva_calls_{0};
   std::atomic<std::uint64_t> pages_swapped_{0};
+  std::atomic<std::uint64_t> pmd_swaps_{0};
+  std::atomic<std::uint64_t> pmd_splits_{0};
+  std::atomic<std::uint64_t> pte_swaps_{0};
   telemetry::Counter& ctr_calls_;
   telemetry::Counter& ctr_pages_;
   telemetry::Counter& ctr_pin_calls_;
@@ -194,6 +228,9 @@ class Kernel {
   telemetry::Counter& ctr_flush_process_;
   telemetry::Counter& ctr_pmd_hits_;
   telemetry::Counter& ctr_pmd_misses_;
+  telemetry::Counter& ctr_pmd_swaps_;
+  telemetry::Counter& ctr_pmd_splits_;
+  telemetry::Counter& ctr_pte_swaps_;
   telemetry::Histogram& hist_vec_len_;
 };
 

@@ -7,28 +7,47 @@ Tlb::Tlb(unsigned entries, unsigned ways)
   SVAGC_CHECK(sets_ >= 1 && ways_ >= 1);
 }
 
-Tlb::LookupResult Tlb::Lookup(std::uint64_t asid, std::uint64_t vpn) {
-  SpinLockGuard guard(lock_);
-  Entry* set = &entries_[SetIndex(asid, vpn) * ways_];
+Tlb::LookupResult Tlb::LookupTagged(std::uint64_t asid, std::uint64_t vpn,
+                                    bool huge) {
+  const std::uint64_t tag_vpn = huge ? (vpn & ~kIndexMask) : vpn;
+  const std::size_t set_index =
+      huge ? HugeSetIndex(asid, vpn) : SetIndex(asid, vpn);
+  Entry* set = &entries_[set_index * ways_];
   for (unsigned w = 0; w < ways_; ++w) {
     Entry& entry = set[w];
-    if (entry.valid && entry.asid == asid && entry.vpn == vpn) {
+    if (entry.valid && entry.huge == huge && entry.asid == asid &&
+        entry.vpn == tag_vpn) {
       entry.lru = ++clock_;
-      ++hits_;
-      return {true, entry.frame};
+      const frame_t frame =
+          huge ? entry.frame + (vpn & kIndexMask) : entry.frame;
+      return {true, frame};
     }
   }
-  ++misses_;
   return {false, kInvalidFrame};
 }
 
-void Tlb::Insert(std::uint64_t asid, std::uint64_t vpn, frame_t frame) {
+Tlb::LookupResult Tlb::Lookup(std::uint64_t asid, std::uint64_t vpn) {
   SpinLockGuard guard(lock_);
-  Entry* set = &entries_[SetIndex(asid, vpn) * ways_];
+  LookupResult result = LookupTagged(asid, vpn, /*huge=*/false);
+  if (!result.hit) result = LookupTagged(asid, vpn, /*huge=*/true);
+  if (result.hit) {
+    ++hits_;
+  } else {
+    ++misses_;
+  }
+  return result;
+}
+
+void Tlb::InsertTagged(std::uint64_t asid, std::uint64_t vpn, frame_t frame,
+                       bool huge) {
+  const std::size_t set_index =
+      huge ? HugeSetIndex(asid, vpn) : SetIndex(asid, vpn);
+  Entry* set = &entries_[set_index * ways_];
   Entry* victim = &set[0];
   for (unsigned w = 0; w < ways_; ++w) {
     Entry& entry = set[w];
-    if (entry.valid && entry.asid == asid && entry.vpn == vpn) {
+    if (entry.valid && entry.huge == huge && entry.asid == asid &&
+        entry.vpn == vpn) {
       entry.frame = frame;  // refresh a racing duplicate
       entry.lru = ++clock_;
       return;
@@ -39,7 +58,19 @@ void Tlb::Insert(std::uint64_t asid, std::uint64_t vpn, frame_t frame) {
       victim = &entry;
     }
   }
-  *victim = Entry{true, asid, vpn, frame, ++clock_};
+  *victim = Entry{true, huge, asid, vpn, frame, ++clock_};
+}
+
+void Tlb::Insert(std::uint64_t asid, std::uint64_t vpn, frame_t frame) {
+  SpinLockGuard guard(lock_);
+  InsertTagged(asid, vpn, frame, /*huge=*/false);
+}
+
+void Tlb::InsertHuge(std::uint64_t asid, std::uint64_t vpn,
+                     frame_t base_frame) {
+  SVAGC_DCHECK((vpn & kIndexMask) == 0);
+  SpinLockGuard guard(lock_);
+  InsertTagged(asid, vpn, base_frame, /*huge=*/true);
 }
 
 void Tlb::FlushAsid(std::uint64_t asid) {
@@ -55,9 +86,21 @@ void Tlb::FlushPage(std::uint64_t asid, std::uint64_t vpn) {
   Entry* set = &entries_[SetIndex(asid, vpn) * ways_];
   for (unsigned w = 0; w < ways_; ++w) {
     Entry& entry = set[w];
-    if (entry.valid && entry.asid == asid && entry.vpn == vpn) {
+    if (entry.valid && !entry.huge && entry.asid == asid && entry.vpn == vpn) {
       entry.valid = false;
-      return;
+      break;
+    }
+  }
+  // invlpg semantics: a 4 KiB-granular invalidation inside a huge-mapped
+  // unit must drop the whole huge entry.
+  const std::uint64_t unit_vpn = vpn & ~kIndexMask;
+  Entry* huge_set = &entries_[HugeSetIndex(asid, vpn) * ways_];
+  for (unsigned w = 0; w < ways_; ++w) {
+    Entry& entry = huge_set[w];
+    if (entry.valid && entry.huge && entry.asid == asid &&
+        entry.vpn == unit_vpn) {
+      entry.valid = false;
+      break;
     }
   }
 }
@@ -66,7 +109,9 @@ std::vector<TlbSnapshotEntry> Tlb::SnapshotValidEntries() {
   SpinLockGuard guard(lock_);
   std::vector<TlbSnapshotEntry> snapshot;
   for (const Entry& entry : entries_) {
-    if (entry.valid) snapshot.push_back({entry.asid, entry.vpn, entry.frame});
+    if (entry.valid) {
+      snapshot.push_back({entry.asid, entry.vpn, entry.frame, entry.huge});
+    }
   }
   return snapshot;
 }

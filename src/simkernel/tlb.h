@@ -6,6 +6,11 @@
 // a core that skips a needed flush would observe a stale frame, and the
 // address-space layer asserts translations against the live page table, so
 // shootdown bugs surface as hard failures in tests.
+//
+// Huge (2 MiB) entries share the array: one entry tagged by the unit-base
+// vpn maps kPagesPerHuge pages (the dTLB-reach benefit of PMD leaves).
+// FlushPage of any 4 KiB vpn inside a huge-mapped unit invalidates the huge
+// entry — the shootdown granularity a real invlpg provides.
 #pragma once
 
 #include <cstdint>
@@ -17,11 +22,13 @@
 
 namespace svagc::sim {
 
-// One valid TLB entry, as observed by SnapshotValidEntries.
+// One valid TLB entry, as observed by SnapshotValidEntries. For huge
+// entries, vpn is the unit-base vpn and frame the unit-base frame.
 struct TlbSnapshotEntry {
   std::uint64_t asid = 0;
   std::uint64_t vpn = 0;
   frame_t frame = kInvalidFrame;
+  bool huge = false;
 };
 
 class Tlb {
@@ -35,12 +42,18 @@ class Tlb {
   };
 
   // Thread-safe: remote cores may flush while the owner translates.
+  // Probes the 4 KiB tag first, then the huge tag of the covering unit (a
+  // huge hit returns the per-page frame, base + offset-in-unit).
   LookupResult Lookup(std::uint64_t asid, std::uint64_t vpn);
   void Insert(std::uint64_t asid, std::uint64_t vpn, frame_t frame);
+  // Installs a 2 MiB entry; vpn must be the unit-base vpn.
+  void InsertHuge(std::uint64_t asid, std::uint64_t vpn, frame_t base_frame);
 
   // Full flush of one address space's entries (CR3 switch / flush_tlb_local).
   void FlushAsid(std::uint64_t asid);
-  // Single-page invalidation (invlpg / flush_tlb_page).
+  // Single-page invalidation (invlpg / flush_tlb_page). Also drops the huge
+  // entry covering vpn, if any — invalidation granularity must never be
+  // finer than the mapping granularity.
   void FlushPage(std::uint64_t asid, std::uint64_t vpn);
   void FlushAll();
 
@@ -56,6 +69,7 @@ class Tlb {
  private:
   struct Entry {
     bool valid = false;
+    bool huge = false;
     std::uint64_t asid = 0;
     std::uint64_t vpn = 0;
     frame_t frame = kInvalidFrame;
@@ -66,6 +80,16 @@ class Tlb {
     // Mix asid into the index so multi-process cores do not false-share sets.
     return static_cast<std::size_t>((vpn ^ (asid * 0x9E3779B9ULL)) % sets_);
   }
+  // Huge entries index by unit number in a distinct key namespace, so a
+  // 4 KiB entry for the unit-base vpn and the huge entry for the unit do
+  // not contend for the same tag.
+  std::size_t HugeSetIndex(std::uint64_t asid, std::uint64_t vpn) const {
+    return SetIndex(asid, (vpn >> kLevelBits) ^ 0x5A5A5A5AULL);
+  }
+
+  LookupResult LookupTagged(std::uint64_t asid, std::uint64_t vpn, bool huge);
+  void InsertTagged(std::uint64_t asid, std::uint64_t vpn, frame_t frame,
+                    bool huge);
 
   unsigned sets_;
   unsigned ways_;

@@ -76,6 +76,7 @@ std::unique_ptr<core::SvagcCollector> MakeArmCollector(
   core::SvagcConfig svagc;
   svagc.move.threshold_pages = config.swap_threshold_pages;
   svagc.move.use_swapva = use_swapva;
+  svagc.move.pmd_swapping = config.huge_threshold_pages != 0;
   if (use_swapva && config.drop_move) {
     return std::make_unique<DropMoveCollector>(machine, config.gc_threads,
                                                /*first_core=*/0, svagc,
@@ -92,8 +93,12 @@ void PlantSalt(rt::Jvm& jvm, const OracleConfig& config) {
   if (config.large_object_salt == 0) return;
   const std::uint64_t data_bytes =
       config.salt_object_bytes - rt::ObjectBytes(0, 0);
+  const std::uint64_t spacer_bytes =
+      (config.salt_spacer_bytes != 0 ? config.salt_spacer_bytes
+                                     : config.salt_object_bytes) -
+      rt::ObjectBytes(0, 0);
   // Spacer: allocated but never rooted.
-  jvm.New(workloads::kTypeDataArray, 0, data_bytes);
+  jvm.New(workloads::kTypeDataArray, 0, spacer_bytes);
   for (unsigned i = 0; i < config.large_object_salt; ++i) {
     const rt::vaddr_t addr =
         jvm.New(workloads::kTypeDataArray, 0, data_bytes);
@@ -268,9 +273,13 @@ OracleResult RunDifferentialOracle(const OracleConfig& config) {
   SVAGC_CHECK(workload != nullptr);
   const workloads::WorkloadInfo& info = workload->info();
 
+  // Each salt object may be aligned up and tail-padded at its allocation
+  // grain — 2 MiB when the huge class is on, one page otherwise.
+  const std::uint64_t salt_grain =
+      config.huge_threshold_pages != 0 ? sim::kHugePageSize : sim::kPageSize;
   const std::uint64_t salt_bytes =
       static_cast<std::uint64_t>(config.large_object_salt + 1) *
-      (config.salt_object_bytes + 2 * sim::kPageSize);
+      (config.salt_object_bytes + 2 * salt_grain);
   const std::uint64_t heap_bytes =
       AlignUp(static_cast<std::uint64_t>(
                   static_cast<double>(info.min_heap_bytes) *
@@ -286,6 +295,7 @@ OracleResult RunDifferentialOracle(const OracleConfig& config) {
   jvm_config.heap.capacity = heap_bytes;
   jvm_config.heap.swap_threshold_pages = config.swap_threshold_pages;
   jvm_config.heap.page_align_large = true;
+  jvm_config.heap.huge_threshold_pages = config.huge_threshold_pages;
   jvm_config.logical_threads = info.logical_threads;
   jvm_config.gc_threads = config.gc_threads;
   jvm_config.name = "oracle:" + info.name;

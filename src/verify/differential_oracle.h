@@ -70,12 +70,20 @@ struct OracleConfig {
   unsigned warmup_iterations = 6;
   std::uint64_t swap_threshold_pages = 10;
 
+  // 2 MiB alignment class, forwarded to HeapConfig::huge_threshold_pages
+  // (and enabling the kernel's PMD swapping in the swap arm). 0 = disabled.
+  std::uint64_t huge_threshold_pages = 0;
+
   // Salting: adds `large_object_salt` rooted large arrays behind an
   // *unrooted* large spacer, guaranteeing the compared cycle performs
   // genuinely displaced SwapVA moves even for workloads whose own objects
   // are small. 0 = no salting (small-only shape).
   unsigned large_object_salt = 0;
   std::uint64_t salt_object_bytes = 24 * sim::kPageSize;
+  // Spacer size; 0 = same as salt_object_bytes. A spacer smaller than the
+  // salt objects makes the slide distance shorter than each object's extent,
+  // forcing SwapVA down the *overlapping* (rotation) path.
+  std::uint64_t salt_spacer_bytes = 0;
 
   // Intentional-bug toggle: the swap arm silently drops the Nth displaced
   // move (counting across all workers). The oracle must report a mismatch —

@@ -14,17 +14,39 @@ rt::VerifyResult CheckTlbCoherence(rt::Jvm& jvm) {
     for (const sim::TlbSnapshotEntry& entry :
          machine.tlb(core).SnapshotValidEntries()) {
       if (entry.asid != asid) continue;
-      const auto mapped = table.Lookup(entry.vpn);
-      if (mapped.has_value() && *mapped == entry.frame) continue;
-      result.ok = false;
-      result.error = Format(
-          "core %u TLB maps vpn 0x%llx to frame %llu but the page table %s",
-          core, (unsigned long long)entry.vpn, (unsigned long long)entry.frame,
-          mapped.has_value()
-              ? Format("has frame %llu", (unsigned long long)*mapped).c_str()
-              : "has no mapping");
-      return result;
+      // A huge entry asserts 512 translations at once; every one must still
+      // hold (a split leaves the huge entry stale-but-correct only as long
+      // as each covered PTE still maps base+i).
+      const std::uint64_t reach = entry.huge ? sim::kPagesPerHuge : 1;
+      for (std::uint64_t i = 0; i < reach; ++i) {
+        const auto mapped = table.Lookup(entry.vpn + i);
+        if (mapped.has_value() && *mapped == entry.frame + i) continue;
+        result.ok = false;
+        result.error = Format(
+            "core %u TLB%s maps vpn 0x%llx to frame %llu but the page table "
+            "%s",
+            core, entry.huge ? " (2 MiB entry)" : "",
+            (unsigned long long)(entry.vpn + i),
+            (unsigned long long)(entry.frame + i),
+            mapped.has_value()
+                ? Format("has frame %llu", (unsigned long long)*mapped).c_str()
+                : "has no mapping");
+        return result;
+      }
     }
+  }
+  return result;
+}
+
+rt::VerifyResult CheckHugeMappingConsistency(rt::Jvm& jvm) {
+  rt::VerifyResult result;
+  const std::uint64_t aliased =
+      jvm.address_space().page_table().CountAliasedPmdEntries();
+  if (aliased != 0) {
+    result.ok = false;
+    result.error = Format(
+        "%llu PMD entr%s carry both a PteTable and a 2 MiB huge leaf",
+        (unsigned long long)aliased, aliased == 1 ? "y" : "ies");
   }
   return result;
 }
@@ -45,6 +67,7 @@ InvariantRegistry InvariantRegistry::Default() {
   registry.Register("page-extent-exclusivity", rt::CheckPageExtents);
   registry.Register("reference-validity", rt::CheckReferences);
   registry.Register("tlb-coherence", CheckTlbCoherence);
+  registry.Register("huge-mapping-consistency", CheckHugeMappingConsistency);
   return registry;
 }
 

@@ -22,7 +22,15 @@ namespace svagc::verify {
 // TLB coherence: no core's TLB maps a vaddr of this Jvm's address space to
 // a frame the page table no longer agrees with. A violation is exactly the
 // latent hazard a dropped shootdown or a mis-targeted flush leaves behind.
+// Huge TLB entries are checked page-by-page across their whole 2 MiB reach,
+// so a stale huge entry surviving a split is accepted exactly when every
+// covered translation is still correct.
 rt::VerifyResult CheckTlbCoherence(rt::Jvm& jvm);
+
+// Huge-mapping consistency: no PMD entry in the Jvm's page table carries
+// both a PteTable and a huge leaf for the same 2 MiB range — the aliasing a
+// botched split or a half-applied PMD exchange would leave behind.
+rt::VerifyResult CheckHugeMappingConsistency(rt::Jvm& jvm);
 
 struct InvariantFailure {
   std::string name;
@@ -45,7 +53,7 @@ class InvariantRegistry {
   InvariantRegistry() = default;
 
   // The standard set: heap-tiling, page-extent-exclusivity,
-  // reference-validity, tlb-coherence.
+  // reference-validity, tlb-coherence, huge-mapping-consistency.
   static InvariantRegistry Default();
 
   void Register(std::string name, CheckFn check);

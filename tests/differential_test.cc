@@ -7,6 +7,7 @@
 #include <string>
 #include <tuple>
 
+#include "simkernel/config.h"
 #include "telemetry/metrics.h"
 #include "verify/differential_oracle.h"
 
@@ -107,6 +108,64 @@ INSTANTIATE_TEST_SUITE_P(Shapes, MetricsAgreementSweep,
                            return info.param == HeapShape::kSmallOnly
                                       ? "SmallOnly"
                                       : "LargeHeavy";
+                         });
+
+// Huge-object sweep: the 2 MiB alignment class + kernel PMD swapping must be
+// semantically invisible — swap arm (PMD exchanges, splits, huge rotations)
+// vs memmove arm, same digests. Shapes cover the three kernel paths:
+// aligned (pure PMD exchange), unaligned (PMD + split + PTE tail), and
+// overlapping (PMD-granule rotation, spacer smaller than the objects).
+enum class HugeShape { kAligned, kUnaligned, kOverlapping };
+
+class HugeDifferentialSweep : public ::testing::TestWithParam<HugeShape> {};
+
+TEST_P(HugeDifferentialSweep, HugeSwapArmsAgree) {
+  verify::OracleConfig config;
+  config.workload = "lrucache";
+  config.swap_threshold_pages = 10;
+  config.huge_threshold_pages = 256;  // 1 MiB: all salt objects qualify
+  config.large_object_salt = 3;
+  switch (GetParam()) {
+    case HugeShape::kAligned:
+      config.salt_object_bytes = sim::kHugePageSize;  // exactly one unit
+      break;
+    case HugeShape::kUnaligned:
+      // One unit plus a 24-page tail: PMD fast path + split + PTE tail.
+      config.salt_object_bytes = sim::kHugePageSize + 24 * sim::kPageSize;
+      break;
+    case HugeShape::kOverlapping:
+      // 4 MiB objects sliding down over a 2 MiB spacer: delta smaller than
+      // the extent, forcing the overlap rotation at PMD granularity.
+      config.salt_object_bytes = 2 * sim::kHugePageSize;
+      config.salt_spacer_bytes = sim::kHugePageSize;
+      break;
+  }
+  const verify::OracleResult result = verify::RunDifferentialOracle(config);
+  EXPECT_TRUE(result.match) << result.divergence;
+  EXPECT_GT(result.swapped_bytes, 0u);
+  EXPECT_TRUE(result.invariants_swap.ok) << result.invariants_swap.Describe();
+  EXPECT_TRUE(result.invariants_copy.ok) << result.invariants_copy.Describe();
+  // The move-byte prediction replays Algorithm 3 at page granularity; PMD
+  // swapping must not change what is booked, only what it costs.
+  ASSERT_TRUE(result.prediction_valid);
+  EXPECT_EQ(result.predicted_swapped_bytes, result.swapped_bytes);
+  EXPECT_EQ(result.predicted_memmoved_bytes, result.memmoved_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, HugeDifferentialSweep,
+                         ::testing::Values(HugeShape::kAligned,
+                                           HugeShape::kUnaligned,
+                                           HugeShape::kOverlapping),
+                         [](const ::testing::TestParamInfo<HugeShape>& info) {
+                           switch (info.param) {
+                             case HugeShape::kAligned:
+                               return "Aligned";
+                             case HugeShape::kUnaligned:
+                               return "Unaligned";
+                             case HugeShape::kOverlapping:
+                               return "Overlapping";
+                           }
+                           return "?";
                          });
 
 // Sensitivity check: silently dropping one displaced page move in the swap

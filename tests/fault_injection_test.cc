@@ -195,6 +195,89 @@ TEST_F(FaultInjectionTest, ObjectMoverRecoversFromMidVectorFault) {
   jvm.address_space().UnmapRange(to_space, 16ULL << 20);
 }
 
+// --- kHugeSwapFault: all-or-nothing rollback of the PMD-swap half ------------
+
+TEST_F(FaultInjectionTest, HugeSwapFaultRollsBackPmdExchanges) {
+  SimBundle sim(2, 128ULL << 20);
+  sim::AddressSpace as(sim.machine, sim.phys);
+  const sim::vaddr_t base = 1ULL << 33;
+  as.MapRangeHuge(base, 8 * sim::kHugePageSize);
+  auto page = [&](std::uint64_t p) { return base + p * sim::kPageSize; };
+  // Ragged request: one full unit plus an 8-page tail per side — the fault
+  // fires exactly between the PMD-swap half and the PTE-fallback half.
+  const std::uint64_t pages = sim::kPagesPerHuge + 8;
+  for (std::uint64_t p = 0; p < pages; ++p) {
+    as.WriteWord(page(p), 100 + p);
+    as.WriteWord(page(4 * sim::kPagesPerHuge + p), 90000 + p);
+  }
+  sim::SwapVaOptions opts;
+  opts.pmd_swapping = true;
+  sim::CpuContext ctx(sim.machine, 0);
+
+  verify::ScopedInjection hook(sim.kernel, injector_);
+  injector_.Arm(sim::FaultPoint::kHugeSwapFault, {.first = 0});
+  EXPECT_EQ(sim.kernel.SysSwapVa(as, ctx, base,
+                                 base + 4 * sim::kHugePageSize, pages, opts),
+            sim::SysStatus::kFault);
+  EXPECT_EQ(injector_.fires(sim::FaultPoint::kHugeSwapFault), 1u);
+
+  // The exchanged PMD entries were re-exchanged (involution): semantically
+  // no work was done, nothing was booked, no table/leaf aliasing remains.
+  for (std::uint64_t p = 0; p < pages; ++p) {
+    ASSERT_EQ(as.ReadWord(page(p)), 100 + p) << p;
+    ASSERT_EQ(as.ReadWord(page(4 * sim::kPagesPerHuge + p)), 90000 + p) << p;
+  }
+  EXPECT_EQ(sim.kernel.pages_swapped(), 0u);
+  EXPECT_EQ(sim.kernel.pmd_swaps(), 0u);
+  EXPECT_EQ(sim.kernel.pte_swaps(), 0u);
+  EXPECT_EQ(as.page_table().CountAliasedPmdEntries(), 0u);
+
+  // Unarmed retry completes normally and books the counter identity.
+  ASSERT_EQ(sim.kernel.SysSwapVa(as, ctx, base,
+                                 base + 4 * sim::kHugePageSize, pages, opts),
+            sim::SysStatus::kOk);
+  for (std::uint64_t p = 0; p < pages; ++p) {
+    ASSERT_EQ(as.ReadWord(page(p)), 90000 + p) << p;
+    ASSERT_EQ(as.ReadWord(page(4 * sim::kPagesPerHuge + p)), 100 + p) << p;
+  }
+  EXPECT_EQ(sim.kernel.pmd_swaps() * sim::kPagesPerHuge +
+                sim.kernel.pte_swaps(),
+            sim.kernel.pages_swapped());
+}
+
+TEST_F(FaultInjectionTest, HugeSwapFaultMidVectorKeepsPrefixAtomicity) {
+  SimBundle sim(2, 256ULL << 20);
+  sim::AddressSpace as(sim.machine, sim.phys);
+  const sim::vaddr_t base = 1ULL << 33;
+  as.MapRangeHuge(base, 12 * sim::kHugePageSize);
+  auto unit = [&](std::uint64_t u) { return base + u * sim::kHugePageSize; };
+  for (std::uint64_t u = 0; u < 12; ++u) {
+    as.WriteWord(unit(u), 7000 + u);
+  }
+  // Three one-unit swaps: u0<->u6, u1<->u7, u2<->u8; the second faults.
+  std::vector<sim::SwapRequest> requests;
+  for (std::uint64_t r = 0; r < 3; ++r) {
+    requests.push_back({unit(r), unit(6 + r), sim::kPagesPerHuge});
+  }
+  sim::SwapVaOptions opts;
+  opts.pmd_swapping = true;
+  sim::CpuContext ctx(sim.machine, 0);
+
+  verify::ScopedInjection hook(sim.kernel, injector_);
+  injector_.Arm(sim::FaultPoint::kHugeSwapFault, {.first = 1});
+  const sim::SwapVecResult result =
+      sim.kernel.SysSwapVaVec(as, ctx, requests, opts);
+  EXPECT_EQ(result.status, sim::SysStatus::kFault);
+  EXPECT_EQ(result.completed, 1u);
+  // Request 0 applied; the faulted request rolled back; request 2 untouched.
+  EXPECT_EQ(as.ReadWord(unit(0)), 7006u);
+  EXPECT_EQ(as.ReadWord(unit(6)), 7000u);
+  for (const std::uint64_t u : {1ull, 2ull, 7ull, 8ull}) {
+    EXPECT_EQ(as.ReadWord(unit(u)), 7000 + u) << u;
+  }
+  EXPECT_EQ(as.page_table().CountAliasedPmdEntries(), 0u);
+}
+
 // --- kForceUnpin: error-coded (kNotPinned) -----------------------------------
 
 TEST_F(FaultInjectionTest, ForceUnpinSurfacesNotPinned) {

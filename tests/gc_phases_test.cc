@@ -246,11 +246,16 @@ TEST_F(PhaseTest, EvacuateAllLivePlansEveryObject) {
 // dependency bounds, the filler spans, and the counters.
 class ParallelForwarding : public ::testing::TestWithParam<unsigned> {
  protected:
-  enum Shape { kSmallOnly, kLargeOnly, kMixed };
+  enum Shape { kSmallOnly, kLargeOnly, kMixed, kHugeMixed };
 
   static std::uint64_t DataBytes(Shape shape, Rng& rng) {
+    if (shape == kHugeMixed && rng.NextBelow(6) == 0) {
+      // At or just past one 2 MiB unit: huge-class objects whose ragged
+      // tails make the summary-prefix alignment interesting.
+      return sim::kHugePageSize + 8 * rng.NextBelow(2 * 512);
+    }
     const bool large = shape == kLargeOnly ||
-                       (shape == kMixed && rng.NextBelow(8) == 0);
+                       (shape != kSmallOnly && rng.NextBelow(8) == 0);
     return large ? 10 * sim::kPageSize + 8 * rng.NextBelow(3 * 512)
                  : 8 * (1 + rng.NextBelow(64));
   }
@@ -258,16 +263,23 @@ class ParallelForwarding : public ::testing::TestWithParam<unsigned> {
   void ExpectPlanMatchesSerial(Shape shape, std::uint64_t region_bytes,
                                bool evacuate_all_live = false) {
     const unsigned gc_threads = GetParam();
-    SimBundle sim(8, 256ULL << 20);
+    SimBundle sim(8, shape == kHugeMixed ? 512ULL << 20 : 256ULL << 20);
     rt::JvmConfig config;
     config.heap.capacity = 32 << 20;
+    if (shape == kHugeMixed) {
+      // 2 MiB alignment class on: forwarding must reproduce the three-level
+      // alignment assignment (none / page / huge) identically in parallel.
+      config.heap.huge_threshold_pages = 256;
+      config.heap.capacity = 160 << 20;
+    }
     rt::Jvm jvm(sim.machine, sim.phys, sim.kernel, config);
     jvm.set_collector(std::make_unique<SerialLisp2>(sim.machine, 0));
 
     // Half-rooted random heap: the dead gaps force displaced moves in every
     // region, and the unrooted tail keeps new_top well below old top.
     Rng rng(91 + static_cast<std::uint64_t>(shape));
-    const unsigned count = shape == kLargeOnly ? 250 : 600;
+    const unsigned count =
+        shape == kLargeOnly ? 250 : (shape == kHugeMixed ? 72 : 600);
     const auto table = jvm.New(2, count, 0);
     const auto root = jvm.roots().Add(table);
     for (unsigned i = 0; i < count; ++i) {
@@ -335,6 +347,16 @@ TEST_P(ParallelForwarding, MixedPlanIsBitIdenticalWithSmallRegions) {
 TEST_P(ParallelForwarding, MixedEvacuateAllPlanIsBitIdentical) {
   ExpectPlanMatchesSerial(kMixed, kDefaultRegionBytes,
                           /*evacuate_all_live=*/true);
+}
+
+TEST_P(ParallelForwarding, HugeAlignedPlanIsBitIdentical) {
+  ExpectPlanMatchesSerial(kHugeMixed, kDefaultRegionBytes);
+}
+
+TEST_P(ParallelForwarding, HugeAlignedPlanIsBitIdenticalWithSmallRegions) {
+  // 2 MiB-class objects straddle many 16-page regions, so the huge alignment
+  // decision rides on the forwarded summary prefix, not local information.
+  ExpectPlanMatchesSerial(kHugeMixed, 16 * sim::kPageSize);
 }
 
 INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelForwarding,

@@ -342,5 +342,76 @@ TEST(SwapVaProperty, OverlapRotationMatchesStdRotate) {
   }
 }
 
+// Huge-entry bookkeeping property: across any sequence of swaps — unit-
+// granular, page-granular, disjoint, overlapping — the kernel's tallies obey
+//   pmd_swaps * kPagesPerHuge + pte_swaps == pages_swapped
+// (every page moved was placed by exactly one PMD exchange or one PTE
+// exchange), the address space matches a host-side reference model, and no
+// PMD entry ever holds both a leaf table and a huge leaf.
+TEST(SwapVaProperty, HugeSwapCounterIdentityAndSemantics) {
+  constexpr std::uint64_t kUnits = 16;
+  constexpr std::uint64_t kPages = kUnits * sim::kPagesPerHuge;
+  SimBundle sim(1, 128ULL << 20);
+  sim::AddressSpace as(sim.machine, sim.phys);
+  const sim::vaddr_t base = 1ULL << 33;
+  as.MapRangeHuge(base, kUnits * sim::kHugePageSize);
+
+  std::vector<std::uint64_t> reference(kPages);
+  for (std::uint64_t i = 0; i < kPages; ++i) {
+    reference[i] = 0x700000 + i;
+    as.WriteWord(base + i * sim::kPageSize, reference[i]);
+  }
+  sim::SwapVaOptions opts;
+  opts.pmd_swapping = true;
+  sim::CpuContext ctx(sim.machine, 0);
+  Rng rng(77);
+
+  for (int step = 0; step < 120; ++step) {
+    std::uint64_t a, b, pages;
+    if (rng.NextBelow(2) == 0) {
+      // Unit-granular: exercises the PMD fast path and PMD rotation.
+      const std::uint64_t units = 1 + rng.NextBelow(3);
+      a = rng.NextBelow(kUnits - units) * sim::kPagesPerHuge;
+      b = rng.NextBelow(kUnits - units) * sim::kPagesPerHuge;
+      pages = units * sim::kPagesPerHuge;
+    } else {
+      // Page-granular: exercises splits and the PTE paths.
+      pages = 1 + rng.NextBelow(32);
+      a = rng.NextBelow(kPages - pages);
+      b = rng.NextBelow(kPages - pages);
+    }
+    ASSERT_EQ(sim.kernel.SysSwapVa(as, ctx, base + a * sim::kPageSize,
+                                   base + b * sim::kPageSize, pages, opts),
+              sim::SysStatus::kOk);
+    const std::uint64_t lo = std::min(a, b), hi = std::max(a, b);
+    if (a == b) {
+      // no-op
+    } else if (hi - lo >= pages) {
+      std::swap_ranges(reference.begin() + a, reference.begin() + a + pages,
+                       reference.begin() + b);
+    } else {
+      const std::uint64_t delta = hi - lo;
+      const std::uint64_t span = pages + delta;
+      std::vector<std::uint64_t> rotated(span);
+      for (std::uint64_t j = 0; j < span; ++j) {
+        rotated[j] = reference[lo + (j + delta) % span];
+      }
+      std::copy(rotated.begin(), rotated.end(), reference.begin() + lo);
+    }
+    ASSERT_EQ(sim.kernel.pmd_swaps() * sim::kPagesPerHuge +
+                  sim.kernel.pte_swaps(),
+              sim.kernel.pages_swapped())
+        << "step " << step;
+    ASSERT_EQ(as.page_table().CountAliasedPmdEntries(), 0u) << "step " << step;
+  }
+  for (std::uint64_t i = 0; i < kPages; ++i) {
+    ASSERT_EQ(as.ReadWord(base + i * sim::kPageSize), reference[i]) << i;
+  }
+  // The sweep genuinely hit both paths.
+  EXPECT_GT(sim.kernel.pmd_swaps(), 0u);
+  EXPECT_GT(sim.kernel.pte_swaps(), 0u);
+  EXPECT_GT(sim.kernel.pmd_splits(), 0u);
+}
+
 }  // namespace
 }  // namespace svagc

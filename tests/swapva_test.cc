@@ -320,5 +320,205 @@ TEST_F(SwapVaTest, RandomizedDifferentialAgainstReferenceModel) {
   }
 }
 
+// --- PMD-level huge-entry swapping -------------------------------------------
+
+class SwapVaHugeTest : public ::testing::Test {
+ protected:
+  static constexpr std::uint64_t kUnits = 8;  // mapped 2 MiB units
+  static constexpr vaddr_t kHugeBase = 1ULL << 33;
+
+  SwapVaHugeTest() {
+    as_.MapRangeHuge(kHugeBase, kUnits * kHugePageSize);
+    opts_.pmd_swapping = true;
+  }
+
+  vaddr_t UnitAddr(std::uint64_t unit) {
+    return kHugeBase + unit * kHugePageSize;
+  }
+  vaddr_t PageAddr(std::uint64_t page) { return kHugeBase + page * kPageSize; }
+  void StampPage(std::uint64_t page, std::uint64_t stamp) {
+    as_.WriteWord(PageAddr(page), stamp);
+  }
+  std::uint64_t ReadPage(std::uint64_t page) {
+    return as_.ReadWord(PageAddr(page));
+  }
+
+  Machine machine_{4, ProfileXeonGold6130()};
+  Kernel kernel_{machine_};
+  PhysicalMemory phys_{(kUnits + 1) * kHugePageSize};
+  AddressSpace as_{machine_, phys_};
+  CpuContext ctx_{machine_, 0};
+  SwapVaOptions opts_{};
+};
+
+TEST_F(SwapVaHugeTest, AlignedSwapExchangesPmdEntries) {
+  for (std::uint64_t p = 0; p < 2 * kPagesPerHuge; ++p) {
+    StampPage(p, 0xA000 + p);
+    StampPage(4 * kPagesPerHuge + p, 0xB000 + p);
+  }
+  ASSERT_EQ(kernel_.SysSwapVa(as_, ctx_, UnitAddr(0), UnitAddr(4),
+                              2 * kPagesPerHuge, opts_),
+            SysStatus::kOk);
+  for (std::uint64_t p = 0; p < 2 * kPagesPerHuge; ++p) {
+    ASSERT_EQ(ReadPage(p), 0xB000 + p) << p;
+    ASSERT_EQ(ReadPage(4 * kPagesPerHuge + p), 0xA000 + p) << p;
+  }
+  EXPECT_EQ(kernel_.pmd_swaps(), 2u);
+  EXPECT_EQ(kernel_.pte_swaps(), 0u);
+  EXPECT_EQ(kernel_.pmd_splits(), 0u);
+  EXPECT_EQ(kernel_.pages_swapped(), 2 * kPagesPerHuge);
+  // One entry write per 2 MiB — not 512.
+  EXPECT_DOUBLE_EQ(ctx_.account.ByKind(CostKind::kPteUpdate),
+                   2 * machine_.cost().pte_update);
+  // The swapped units stay huge-mapped: no demotion on the fast path.
+  PageTable& table = as_.page_table();
+  for (const std::uint64_t unit : {0ull, 1ull, 4ull, 5ull}) {
+    EXPECT_TRUE(
+        table.LookupHuge((UnitAddr(unit)) >> kPageShift).has_value())
+        << unit;
+  }
+  EXPECT_EQ(table.CountAliasedPmdEntries(), 0u);
+}
+
+TEST_F(SwapVaHugeTest, DisabledOptionSplitsAndSwapsPtes) {
+  SwapVaOptions pte_only = opts_;
+  pte_only.pmd_swapping = false;
+  StampPage(0, 1);
+  StampPage(4 * kPagesPerHuge, 2);
+  ASSERT_EQ(kernel_.SysSwapVa(as_, ctx_, UnitAddr(0), UnitAddr(4),
+                              kPagesPerHuge, pte_only),
+            SysStatus::kOk);
+  EXPECT_EQ(ReadPage(0), 2u);
+  EXPECT_EQ(ReadPage(4 * kPagesPerHuge), 1u);
+  EXPECT_EQ(kernel_.pmd_swaps(), 0u);
+  EXPECT_EQ(kernel_.pte_swaps(), kPagesPerHuge);
+  EXPECT_EQ(kernel_.pmd_splits(), 2u);  // both units demoted
+  EXPECT_FALSE(
+      as_.page_table().LookupHuge(UnitAddr(0) >> kPageShift).has_value());
+}
+
+TEST_F(SwapVaHugeTest, RaggedTailSplitsOnlyTailUnits) {
+  const std::uint64_t pages = kPagesPerHuge + 8;  // 1 unit + 8-page tail
+  for (std::uint64_t p = 0; p < pages; ++p) {
+    StampPage(p, 0xC000 + p);
+    StampPage(4 * kPagesPerHuge + p, 0xD000 + p);
+  }
+  ASSERT_EQ(
+      kernel_.SysSwapVa(as_, ctx_, UnitAddr(0), UnitAddr(4), pages, opts_),
+      SysStatus::kOk);
+  for (std::uint64_t p = 0; p < pages; ++p) {
+    ASSERT_EQ(ReadPage(p), 0xD000 + p) << p;
+    ASSERT_EQ(ReadPage(4 * kPagesPerHuge + p), 0xC000 + p) << p;
+  }
+  EXPECT_EQ(kernel_.pmd_swaps(), 1u);
+  EXPECT_EQ(kernel_.pte_swaps(), 8u);
+  EXPECT_EQ(kernel_.pmd_splits(), 2u);  // only the two tail units demote
+  PageTable& table = as_.page_table();
+  EXPECT_TRUE(table.LookupHuge(UnitAddr(0) >> kPageShift).has_value());
+  EXPECT_TRUE(table.LookupHuge(UnitAddr(4) >> kPageShift).has_value());
+  EXPECT_FALSE(table.LookupHuge(UnitAddr(1) >> kPageShift).has_value());
+  EXPECT_FALSE(table.LookupHuge(UnitAddr(5) >> kPageShift).has_value());
+  EXPECT_EQ(table.CountAliasedPmdEntries(), 0u);
+}
+
+TEST_F(SwapVaHugeTest, UnalignedAddressesFallBackToPteExchange) {
+  StampPage(3, 7);
+  StampPage(4 * kPagesPerHuge + 3, 9);
+  ASSERT_EQ(kernel_.SysSwapVa(as_, ctx_, PageAddr(3),
+                              PageAddr(4 * kPagesPerHuge + 3), 4, opts_),
+            SysStatus::kOk);
+  EXPECT_EQ(ReadPage(3), 9u);
+  EXPECT_EQ(ReadPage(4 * kPagesPerHuge + 3), 7u);
+  EXPECT_EQ(kernel_.pmd_swaps(), 0u);
+  EXPECT_EQ(kernel_.pte_swaps(), 4u);
+  EXPECT_EQ(kernel_.pmd_splits(), 2u);
+}
+
+TEST_F(SwapVaHugeTest, CounterIdentityHoldsAcrossMixedCalls) {
+  kernel_.SysSwapVa(as_, ctx_, UnitAddr(0), UnitAddr(4), kPagesPerHuge, opts_);
+  kernel_.SysSwapVa(as_, ctx_, UnitAddr(1), UnitAddr(5),
+                    kPagesPerHuge + 12, opts_);
+  kernel_.SysSwapVa(as_, ctx_, PageAddr(5), PageAddr(3 * kPagesPerHuge), 7,
+                    opts_);
+  EXPECT_EQ(kernel_.pmd_swaps() * kPagesPerHuge + kernel_.pte_swaps(),
+            kernel_.pages_swapped());
+}
+
+TEST_F(SwapVaHugeTest, HugeTlbEntryHasUnitReachAndUnitFlushGranularity) {
+  Tlb& tlb = machine_.tlb(0);
+  const std::uint64_t unit_vpn = UnitAddr(2) >> kPageShift;
+  const frame_t base =
+      *as_.page_table().LookupHuge(unit_vpn);
+  tlb.InsertHuge(as_.asid(), unit_vpn, base);
+  // One entry answers for every page of the unit, with the per-page frame.
+  for (const std::uint64_t off : {0ull, 1ull, 255ull, 511ull}) {
+    const auto hit = tlb.Lookup(as_.asid(), unit_vpn + off);
+    ASSERT_TRUE(hit.hit) << off;
+    EXPECT_EQ(hit.frame, base + off) << off;
+  }
+  // invlpg of any covered 4 KiB vpn drops the whole huge entry.
+  tlb.FlushPage(as_.asid(), unit_vpn + 300);
+  EXPECT_FALSE(tlb.Lookup(as_.asid(), unit_vpn).hit);
+  EXPECT_FALSE(tlb.Lookup(as_.asid(), unit_vpn + 300).hit);
+}
+
+TEST_F(SwapVaHugeTest, HardwareWalkInstallsHugeEntry) {
+  // First touch misses and walks; the installed 2 MiB entry then covers the
+  // whole unit, so a different page of the same unit hits.
+  (void)as_.HwPtr(ctx_, UnitAddr(2));
+  const std::uint64_t hits_before = machine_.tlb(0).hits();
+  (void)as_.HwPtr(ctx_, UnitAddr(2) + 100 * kPageSize);
+  EXPECT_EQ(machine_.tlb(0).hits(), hits_before + 1);
+}
+
+TEST_F(SwapVaHugeTest, OverlapRotatesWholePmdEntries) {
+  // GC-style downward move by one unit: [u1, u3) -> [u0, u2). The rotation
+  // spans 3 units; every unit is huge-mapped, so the kernel rotates the PMD
+  // entries themselves.
+  for (std::uint64_t u = 0; u < 3; ++u) {
+    for (std::uint64_t p = 0; p < kPagesPerHuge; p += 37) {
+      StampPage(u * kPagesPerHuge + p, 0xE000 + u * kPagesPerHuge + p);
+    }
+    // Warm this core's TLB with huge entries covering the span: the per-unit
+    // flush of the rotation must invalidate them (HwPtr asserts freshness).
+    (void)as_.HwPtr(ctx_, UnitAddr(u));
+  }
+  SwapVaOptions local = opts_;
+  local.tlb_policy = TlbPolicy::kLocalOnly;
+  ASSERT_EQ(kernel_.SysSwapVa(as_, ctx_, UnitAddr(0), UnitAddr(1),
+                              2 * kPagesPerHuge, local),
+            SysStatus::kOk);
+  // new[j] = old[(j + delta) mod span] over the 3-unit span.
+  for (std::uint64_t j = 0; j < 3 * kPagesPerHuge; ++j) {
+    const std::uint64_t src = (j + kPagesPerHuge) % (3 * kPagesPerHuge);
+    if (src % kPagesPerHuge % 37 != 0) continue;  // unstamped page
+    (void)as_.HwPtr(ctx_, PageAddr(j));  // translate through the TLB
+    ASSERT_EQ(ReadPage(j), 0xE000 + src) << j;
+  }
+  EXPECT_EQ(kernel_.pmd_swaps(), 3u);  // span_units placements
+  EXPECT_EQ(kernel_.pte_swaps(), 0u);
+  EXPECT_EQ(kernel_.pmd_splits(), 0u);
+  EXPECT_EQ(kernel_.pages_swapped(), 3 * kPagesPerHuge);
+}
+
+TEST_F(SwapVaHugeTest, OverlapFallsBackWhenSpanNotAllHuge) {
+  // Demote unit 2 first (a sub-unit PTE swap inside it), then the same
+  // rotation must take the PTE path: all-huge pre-scan fails.
+  kernel_.SysSwapVa(as_, ctx_, PageAddr(2 * kPagesPerHuge),
+                    PageAddr(6 * kPagesPerHuge + 1), 1, opts_);
+  ASSERT_FALSE(
+      as_.page_table().LookupHuge(UnitAddr(2) >> kPageShift).has_value());
+  const std::uint64_t pmd_before = kernel_.pmd_swaps();
+  StampPage(kPagesPerHuge, 0x77);
+  ASSERT_EQ(kernel_.SysSwapVa(as_, ctx_, UnitAddr(0), UnitAddr(1),
+                              2 * kPagesPerHuge, opts_),
+            SysStatus::kOk);
+  EXPECT_EQ(ReadPage(0), 0x77u);  // dest received old source
+  EXPECT_EQ(kernel_.pmd_swaps(), pmd_before);
+  // 1 page from the demoting swap + the whole 3-unit rotation span.
+  EXPECT_EQ(kernel_.pte_swaps(), 1u + 3 * kPagesPerHuge);
+  EXPECT_EQ(as_.page_table().CountAliasedPmdEntries(), 0u);
+}
+
 }  // namespace
 }  // namespace svagc::sim
