@@ -7,12 +7,21 @@ header names a cycle/time quantity, and compares each against
 BENCH_baseline.json with a relative tolerance (default +/-15%). Modeled
 cycles are deterministic and host-independent, so the tolerance exists only
 to absorb deliberate cost-profile recalibrations; anything larger is a real
-regression (or a real improvement) and must be re-baselined on purpose:
+regression (or a real improvement) and must be re-baselined on purpose.
 
+Two rebaseline modes:
+
+    # Merge: refresh only the named benches, keep every other baseline
+    # entry byte-identical (the usual case -- one bench changed).
+    python3 bench/check_regression.py --baseline bench/BENCH_baseline.json \
+        --bench-dir build/bench --update-baseline fig19_plan_optimizer
+
+    # Overwrite: regenerate the whole file from the named benches (use when
+    # recalibrating the cost profile, which moves every column at once).
     python3 bench/check_regression.py --baseline bench/BENCH_baseline.json \
         --bench-dir build/bench --rebaseline fig01_phase_breakdown ...
 
-and commit the updated BENCH_baseline.json with an explanation.
+Either way, commit the updated BENCH_baseline.json with an explanation.
 """
 
 import argparse
@@ -117,21 +126,41 @@ def main():
     ap.add_argument(
         "--rebaseline",
         action="store_true",
-        help="overwrite the baseline with the current output",
+        help="overwrite the whole baseline with the current output",
+    )
+    ap.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="merge the named benches into the existing baseline, "
+        "preserving entries for benches not named here",
     )
     ap.add_argument("benches", nargs="+")
     args = ap.parse_args()
+    if args.rebaseline and args.update_baseline:
+        ap.error("--rebaseline and --update-baseline are mutually exclusive")
 
     current = {}
     for name in args.benches:
         current[name] = run_bench(args.bench_dir, name)
         print(f"ran {name}: {len(current[name])} table(s)")
 
-    if args.rebaseline:
+    if args.rebaseline or args.update_baseline:
+        merged = {}
+        if args.update_baseline and os.path.exists(args.baseline):
+            with open(args.baseline) as f:
+                merged = json.load(f)
+        kept = [k for k in merged if k not in current]
+        merged.update(current)
         with open(args.baseline, "w") as f:
-            json.dump(current, f, indent=1, sort_keys=True)
+            json.dump(merged, f, indent=1, sort_keys=True)
             f.write("\n")
-        print(f"baseline rewritten: {args.baseline}")
+        if args.update_baseline:
+            print(
+                f"baseline updated: {args.baseline} "
+                f"(refreshed {sorted(current)}, kept {sorted(kept)})"
+            )
+        else:
+            print(f"baseline rewritten: {args.baseline}")
         return 0
 
     with open(args.baseline) as f:

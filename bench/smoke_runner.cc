@@ -259,6 +259,7 @@ int main(int argc, char** argv) {
       "fig16_throughput_vs_baselines",
       "fig17_forward_scaling",
       "fig18_huge_swap",
+      "fig19_plan_optimizer",
       "tab02_config",
       "tab03_cache_dtlb",
       "ablation_minor_copy",

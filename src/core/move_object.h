@@ -54,6 +54,7 @@ class ObjectMover {
   ObjectMover(rt::Jvm& jvm, const MoveObjectConfig& config)
       : jvm_(jvm), config_(config) {
     batch_.reserve(config.max_batch);
+    batch_objects_.reserve(config.max_batch);
     swap_options_.pmd_caching = config.pmd_caching;
     swap_options_.pmd_swapping = config.pmd_swapping;
     swap_options_.tlb_policy = config.tlb_policy;
@@ -65,6 +66,16 @@ class ObjectMover {
   void Move(sim::CpuContext& ctx, rt::vaddr_t src, rt::vaddr_t dst,
             std::uint64_t size);
 
+  // Moves a plan-optimizer coalesced run: `objects` whole live objects
+  // sliding rigidly from [src, src+size) to [dst, dst+size). When the slide
+  // is a page multiple and the run's page-interior clears the cycle's swap
+  // threshold, the ragged head and tail are memmoved and the interior pages
+  // are swapped — exclusivity holds because every interior page is covered
+  // entirely by the run's own bytes, unlike a lone small object. Otherwise
+  // the whole run is one memmove (still one dispatch for `objects` objects).
+  void MoveRun(sim::CpuContext& ctx, rt::vaddr_t src, rt::vaddr_t dst,
+               std::uint64_t size, std::uint32_t objects);
+
   void Flush(sim::CpuContext& ctx);
 
   // Switches the TLB policy for subsequent swaps — the collector prologue
@@ -75,6 +86,22 @@ class ObjectMover {
     swap_options_.tlb_policy = policy;
   }
 
+  // Per-cycle swap threshold override (the plan optimizer's adaptive
+  // choice); 0 restores the static config value. Only legal with an empty
+  // batch. Note the asymmetry in how it is applied: run interiors use it
+  // directly (their page exclusivity is structural), but single objects keep
+  // the allocator's class as a floor — an accidentally page-aligned small
+  // object may share its ceil-extent tail page with a neighbour, so dropping
+  // the single-object threshold below the allocation class would be unsound.
+  void set_threshold_pages(std::uint64_t pages) {
+    SVAGC_DCHECK(batch_.empty());
+    cycle_threshold_pages_ = pages;
+  }
+  std::uint64_t effective_threshold_pages() const {
+    return cycle_threshold_pages_ != 0 ? cycle_threshold_pages_
+                                       : config_.threshold_pages;
+  }
+
   const MoveObjectStats& stats() const { return stats_; }
 
  private:
@@ -82,11 +109,23 @@ class ObjectMover {
   // one process-wide flush. Returns false if the pin itself was refused.
   bool TryRepin(sim::CpuContext& ctx);
 
-  // Completes one accepted-but-unswapped request with a page-granular copy.
-  void CompleteByCopy(sim::CpuContext& ctx, const sim::SwapRequest& req);
+  // Completes accepted-but-unswapped requests with a page-granular copy;
+  // `objects` is how many live objects the request stood for (1 for a plain
+  // large object, the member count for a run interior).
+  void CompleteByCopy(sim::CpuContext& ctx, const sim::SwapRequest& req,
+                      std::uint32_t objects);
 
-  void BookSwapped(const sim::SwapRequest& req) {
-    ++stats_.objects_swapped;
+  // Issues one swap request (direct syscall or batched, per config),
+  // attributing `objects` live objects to whichever path completes it.
+  void SubmitSwap(sim::CpuContext& ctx, const sim::SwapRequest& req,
+                  std::uint32_t objects);
+
+  // Memmove with the pending-batch ordering hazard check (see Move).
+  void HazardCopy(sim::CpuContext& ctx, rt::vaddr_t dst, rt::vaddr_t src,
+                  std::uint64_t bytes);
+
+  void BookSwapped(const sim::SwapRequest& req, std::uint32_t objects) {
+    stats_.objects_swapped += objects;
     stats_.bytes_swapped += req.pages << sim::kPageShift;
   }
 
@@ -94,6 +133,9 @@ class ObjectMover {
   MoveObjectConfig config_;
   sim::SwapVaOptions swap_options_;
   std::vector<sim::SwapRequest> batch_;
+  // Parallel to batch_: live objects each pending request stands for.
+  std::vector<std::uint32_t> batch_objects_;
+  std::uint64_t cycle_threshold_pages_ = 0;  // 0 = use config_.threshold_pages
   MoveObjectStats stats_;
 };
 

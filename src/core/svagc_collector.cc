@@ -21,10 +21,23 @@ ObjectMover& SvagcCollector::MoverFor(rt::Jvm& jvm, unsigned worker) {
   return *movers_[worker];
 }
 
+std::uint64_t SvagcCollector::PlanSwapThresholdPages(rt::Jvm& jvm) const {
+  (void)jvm;
+  if (plan_optimizer().adaptive_threshold) {
+    return gc::ChooseSwapThresholdPages(machine_.cost(),
+                                        last_cycle_moved_bytes_);
+  }
+  return config_.move.threshold_pages;
+}
+
 void SvagcCollector::BindMovers(rt::Jvm& jvm) {
   if (movers_jvm_ != &jvm) {
     for (auto& mover : movers_) mover.reset();
     movers_jvm_ = &jvm;
+    // Mover stats restart from zero with the rebind, so the moved-bytes
+    // delta feeding the adaptive threshold must too.
+    prev_moved_total_ = 0;
+    last_cycle_moved_bytes_ = 0;
   }
   for (auto& mover : movers_) {
     if (!mover) mover = std::make_unique<ObjectMover>(jvm, config_.move);
@@ -52,8 +65,13 @@ void SvagcCollector::MoveObject(rt::Jvm& jvm, sim::CpuContext& ctx,
   // The scheduler hands us the gang worker id, so mover lookup is O(1) on
   // this hottest per-object path (it used to scan every worker context).
   ctx.account.Charge(sim::CostKind::kCompute, costs().move_dispatch);
-  MoverFor(jvm, worker).Move(ctx, move.src, move.dst, move.size);
-  ++log_.objects_moved;
+  ObjectMover& mover = MoverFor(jvm, worker);
+  if (move.run) {
+    mover.MoveRun(ctx, move.src, move.dst, move.size, move.objects);
+  } else {
+    mover.Move(ctx, move.src, move.dst, move.size);
+  }
+  log_.objects_moved += move.objects;
 }
 
 void SvagcCollector::FlushMoves(rt::Jvm& jvm, sim::CpuContext& ctx,
@@ -64,6 +82,14 @@ void SvagcCollector::FlushMoves(rt::Jvm& jvm, sim::CpuContext& ctx,
 
 void SvagcCollector::CompactionPrologue(rt::Jvm& jvm, sim::CpuContext& ctx) {
   BindMovers(jvm);
+  // Apply the cycle's dispatch threshold before any Move of the phase. The
+  // same inputs produced the plan optimizer's qualification earlier in this
+  // cycle (last_cycle_moved_bytes_ only advances in the epilogue), so plan
+  // and mover agree on what is swappable.
+  cycle_threshold_pages_ = PlanSwapThresholdPages(jvm);
+  const std::uint64_t override_pages =
+      plan_optimizer().adaptive_threshold ? cycle_threshold_pages_ : 0;
+  for (auto& mover : movers_) mover->set_threshold_pages(override_pages);
   pinned_this_cycle_ = false;
   if (!config_.pinned_compaction || !config_.move.use_swapva) return;
   // Algorithm 4 lines 2-5: pin every compaction worker, then one
@@ -117,6 +143,11 @@ void SvagcCollector::CompactionEpilogue(rt::Jvm& jvm, sim::CpuContext& ctx) {
   reg.counter("gc.swap_faults_recovered").Store(total.swap_faults_recovered);
   reg.counter("gc.pin_losses_recovered").Store(total.pin_losses_recovered);
   reg.counter("gc.pin_refusals").Store(pin_refusals_);
+  // Feed the adaptive threshold: what this cycle actually moved decides
+  // whether next cycle's copy alternative prices at the cached or DRAM rate.
+  const std::uint64_t moved_total = total.bytes_copied + total.bytes_swapped;
+  last_cycle_moved_bytes_ = moved_total - prev_moved_total_;
+  prev_moved_total_ = moved_total;
 }
 
 }  // namespace svagc::core

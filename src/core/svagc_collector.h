@@ -39,6 +39,11 @@ class SvagcCollector : public gc::ParallelLisp2 {
   // fell back to per-call global shootdowns instead of Algorithm 4.
   std::uint64_t pin_refusals() const { return pin_refusals_; }
 
+  // The swap threshold the coming cycle will dispatch with: the adaptive
+  // Fig. 10 crossover when the plan optimizer's adaptive_threshold knob is
+  // on, else the static MoveObjectConfig value.
+  std::uint64_t PlanSwapThresholdPages(rt::Jvm& jvm) const override;
+
  protected:
   void MoveObject(rt::Jvm& jvm, sim::CpuContext& ctx, unsigned worker,
                   const gc::Move& move) override;
@@ -59,6 +64,14 @@ class SvagcCollector : public gc::ParallelLisp2 {
   // unpin them). False when pinning is off or the pin request was refused.
   bool pinned_this_cycle_ = false;
   std::uint64_t pin_refusals_ = 0;
+  // Adaptive-threshold feedback: bytes the previous cycle actually moved
+  // (copied + swapped), which selects the cached-vs-DRAM copy rate in
+  // ChooseSwapThresholdPages. Derived as a delta of the movers' cumulative
+  // totals; reset with the movers on a JVM rebind.
+  std::uint64_t last_cycle_moved_bytes_ = 0;
+  std::uint64_t prev_moved_total_ = 0;
+  // The threshold the prologue applied this cycle (telemetry/debugging).
+  std::uint64_t cycle_threshold_pages_ = 0;
 };
 
 }  // namespace svagc::core

@@ -23,6 +23,12 @@ struct Move {
   rt::vaddr_t dst = 0;
   std::uint64_t size = 0;
   bool large = false;  // >= Threshold_Swapping pages (page-aligned dst)
+  // Plan-optimizer coalesced run: [src, src+size) is a span of whole live
+  // objects sliding rigidly by (src - dst), so every page fully inside the
+  // span is exclusively covered by the run's own bytes — the mover may swap
+  // the aligned interior even though no single member object is large.
+  bool run = false;
+  std::uint32_t objects = 1;  // live objects this move covers
 
   bool operator==(const Move&) const = default;
 };

@@ -26,6 +26,9 @@ struct GcCosts {
   double adjust_ref = 35;         // rewrite one reference slot
   double root_slot = 40;          // scan/rewrite one root
   double move_dispatch = 80;      // per-object MoveObject bookkeeping
+  // Plan-optimizer pass (between phases II and III, when enabled): one size
+  // read plus run/prefix arithmetic per live object, twice (scan + layout).
+  double plan_obj = 35;           // optimizer per live object, per pass
   // Mark-bitmap sweep for phases II/III: ~1 cached access per 64-byte line
   // of bitmap, i.e. per 4 KiB of heap.
   double heap_scan_per_byte = 0.0015;

@@ -113,6 +113,28 @@ void ParallelLisp2::Collect(rt::Jvm& jvm) {
                               EvacuateAllLive());
     });
   }
+  // Plan-optimizer pass (still part of the forwarding phase for pause
+  // accounting): rewrites the move lists before phases III/IV consume them.
+  last_plan_stats_ = PlanOptimizerStats{};
+  if (plan_optimizer_.enabled()) {
+    const std::uint64_t threshold = PlanSwapThresholdPages(jvm);
+    rec.forward += RunSerialPhase([&](sim::CpuContext& ctx) {
+      last_plan_stats_ =
+          OptimizePlan(jvm, fwd, plan_optimizer_, threshold, ctx, costs(),
+                       machine_.cost(), EvacuateAllLive());
+    });
+    metrics().counter("gc.plan.runs_coalesced")
+        .Add(last_plan_stats_.runs_coalesced);
+    metrics().counter("gc.plan.dense_prefix_bytes")
+        .Add(last_plan_stats_.dense_prefix_bytes);
+    // Republished, not accumulated: the cycle's effective threshold choice.
+    metrics().counter("gc.plan.threshold_pages")
+        .Store(last_plan_stats_.threshold_pages);
+    auto& run_hist = metrics().histogram("gc.plan.objects_per_run");
+    for (const std::uint32_t len : last_plan_stats_.run_lengths) {
+      run_hist.Record(static_cast<double>(len));
+    }
+  }
   if (tracing) tasks[1] = WorkerTaskSpans("forward", EndPhaseCapture());
   const CompactionPlan& plan = fwd.plan;
 
@@ -373,7 +395,8 @@ void ParallelLisp2::MoveObject(rt::Jvm& jvm, sim::CpuContext& ctx,
   jvm.address_space().CopyBytes(ctx, move.dst, move.src, move.size,
                                 sim::AddressSpace::CopyLocality::kCold);
   log_.bytes_copied += move.size;
-  ++log_.objects_moved;
+  // Coalesced runs are one copy but `objects` live objects.
+  log_.objects_moved += move.objects;
 }
 
 }  // namespace svagc::gc

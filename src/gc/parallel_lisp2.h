@@ -25,6 +25,7 @@
 #include "gc/collector.h"
 #include "gc/forwarding.h"
 #include "gc/mark.h"
+#include "gc/plan_optimizer.h"
 #include "support/spin_lock.h"
 #include "support/ws_deque.h"
 
@@ -75,6 +76,12 @@ class ParallelLisp2 : public CollectorBase {
   void set_compaction_scheduler(CompactionSchedulerKind kind) {
     scheduler_ = kind;
   }
+  const PlanOptimizerConfig& plan_optimizer() const { return plan_optimizer_; }
+  void set_plan_optimizer(const PlanOptimizerConfig& config) {
+    plan_optimizer_ = config;
+  }
+  // Stats from the last cycle's optimizer pass (zeroed when disabled).
+  const PlanOptimizerStats& last_plan_stats() const { return last_plan_stats_; }
 
  protected:
   // Moves one object from move.src to move.dst (sizes in bytes) on behalf of
@@ -110,6 +117,14 @@ class ParallelLisp2 : public CollectorBase {
   // adjust phases always use the full gang.
   virtual unsigned compact_parallelism() const { return gc_threads(); }
 
+  // The swap threshold the plan optimizer qualifies runs against (and, for
+  // SVAGC, the cycle's mover dispatch floor). The base value is the static
+  // Threshold_Swapping; SvagcCollector overrides it with the per-cycle
+  // adaptive choice when PlanOptimizerConfig::adaptive_threshold is set.
+  virtual std::uint64_t PlanSwapThresholdPages(rt::Jvm& jvm) const {
+    return jvm.heap().config().swap_threshold_pages;
+  }
+
   // When true, every live object is "moved" even if its destination equals
   // its source — the cost profile of an evacuating (copying) collector,
   // which pays for all live bytes each cycle, not just the displaced ones.
@@ -139,6 +154,8 @@ class ParallelLisp2 : public CollectorBase {
 
   ForwardingMode forwarding_mode_ = ForwardingMode::kParallelSummary;
   CompactionSchedulerKind scheduler_ = CompactionSchedulerKind::kWorkStealing;
+  PlanOptimizerConfig plan_optimizer_;
+  PlanOptimizerStats last_plan_stats_;
 
   // --- Per-cycle compaction scheduling state ---
   // Static blocks: completion flags + monotone done-prefix frontier.

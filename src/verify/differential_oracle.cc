@@ -77,13 +77,19 @@ std::unique_ptr<core::SvagcCollector> MakeArmCollector(
   svagc.move.threshold_pages = config.swap_threshold_pages;
   svagc.move.use_swapva = use_swapva;
   svagc.move.pmd_swapping = config.huge_threshold_pages != 0;
+  std::unique_ptr<core::SvagcCollector> collector;
   if (use_swapva && config.drop_move) {
-    return std::make_unique<DropMoveCollector>(machine, config.gc_threads,
-                                               /*first_core=*/0, svagc,
-                                               config.drop_move_index);
+    collector = std::make_unique<DropMoveCollector>(machine, config.gc_threads,
+                                                    /*first_core=*/0, svagc,
+                                                    config.drop_move_index);
+  } else {
+    collector = std::make_unique<core::SvagcCollector>(
+        machine, config.gc_threads, /*first_core=*/0, svagc);
   }
-  return std::make_unique<core::SvagcCollector>(machine, config.gc_threads,
-                                                /*first_core=*/0, svagc);
+  // Both arms get the same optimizer config, so the compared cycle computes
+  // the same layout and the digests compare move *execution*, not planning.
+  collector->set_plan_optimizer(config.plan_optimizer);
+  return collector;
 }
 
 // Allocates salt: one unrooted large spacer (garbage, so everything above it
@@ -127,6 +133,9 @@ MovePrediction PredictMoveBytes(const HeapDigest& pre, const HeapDigest& post,
                                 const OracleConfig& config) {
   MovePrediction out;
   if (!pre.valid || !post.valid) return out;
+  // The per-object dispatch replay below has no notion of coalesced runs or
+  // a pinned prefix; with the plan optimizer on, the prediction is invalid.
+  if (config.plan_optimizer.enabled()) return out;
 
   std::unordered_map<rt::vaddr_t, std::size_t> index;
   index.reserve(pre.objects.size());

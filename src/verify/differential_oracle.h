@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "gc/plan_optimizer.h"
 #include "runtime/object.h"
 #include "verify/invariant_registry.h"
 
@@ -73,6 +74,13 @@ struct OracleConfig {
   // 2 MiB alignment class, forwarded to HeapConfig::huge_threshold_pages
   // (and enabling the kernel's PMD swapping in the swap arm). 0 = disabled.
   std::uint64_t huge_threshold_pages = 0;
+
+  // Compaction-plan optimizer, applied to BOTH arms (the compared cycle's
+  // layout must be identical across arms; coalescing/elision change where
+  // objects land, not whether the two movers agree). When any knob is on,
+  // the per-object move-bytes prediction is invalid — runs dispatch at run
+  // granularity — and prediction_valid stays false.
+  gc::PlanOptimizerConfig plan_optimizer;
 
   // Salting: adds `large_object_salt` rooted large arrays behind an
   // *unrooted* large spacer, guaranteeing the compared cycle performs

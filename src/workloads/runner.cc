@@ -62,6 +62,7 @@ std::unique_ptr<rt::CollectorIface> MakeCollector(CollectorKind kind,
   if (auto* lisp2 = dynamic_cast<gc::ParallelLisp2*>(collector.get())) {
     lisp2->set_forwarding_mode(config.forwarding);
     lisp2->set_compaction_scheduler(config.compaction_scheduler);
+    lisp2->set_plan_optimizer(config.plan_optimizer);
   }
   return collector;
 }

@@ -43,6 +43,9 @@ struct RunConfig {
   gc::ForwardingMode forwarding = gc::ForwardingMode::kParallelSummary;
   gc::CompactionSchedulerKind compaction_scheduler =
       gc::CompactionSchedulerKind::kWorkStealing;
+  // Compaction-plan optimizer (fig19 sweeps the knobs; all off by default,
+  // which keeps plans bit-identical to the unoptimized pipeline).
+  gc::PlanOptimizerConfig plan_optimizer;
   const sim::CostProfile* profile = nullptr;  // default: Xeon Gold 6130
   sim::MemTraceSink* trace = nullptr;         // Table III cache/DTLB sink
   // Span-trace sink attached to the machine for the whole run. When null the

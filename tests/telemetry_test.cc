@@ -12,9 +12,11 @@
 #include <string>
 #include <vector>
 
+#include "core/svagc_collector.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace_json.h"
 #include "telemetry/trace_recorder.h"
+#include "tests/test_util.h"
 #include "workloads/runner.h"
 
 namespace svagc {
@@ -25,6 +27,7 @@ using telemetry::TraceEvent;
 using telemetry::TraceRecorder;
 
 TEST(Histogram, PercentileEdgeCases) {
+  if (!telemetry::kEnabled) GTEST_SKIP() << "telemetry compiled out";
   telemetry::Histogram h;
   // Empty: every statistic is 0.
   EXPECT_EQ(h.count(), 0u);
@@ -347,6 +350,84 @@ TEST(TraceStructure, PhaseTotalsMatchHarvestBitExact) {
   EXPECT_LE(result.gc_total_cycles, total);
   EXPECT_LT(total - result.gc_total_cycles,
             static_cast<double>(result.gc_count));
+}
+
+// Plan-optimizer counters: present (and meaningful) exactly when the
+// optimizer runs, absent otherwise. All of them derive from the
+// deterministic plan rewrite, so they are also covered by the determinism
+// test below through the full-counter snapshot comparison.
+TEST(TelemetryPlanOptimizer, CountersPublishedOnlyWhenOptimizerEnabled) {
+  if (!telemetry::kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  workloads::RunConfig config = TracedConfig();
+  config.workload = "bisort";  // small-object-heavy: runs will coalesce
+  const workloads::RunResult off = workloads::RunWorkload(config);
+  ASSERT_GT(off.gc_count, 0u);
+  for (const auto& [key, value] : off.gc_counters) {
+    EXPECT_EQ(key.rfind("gc.plan.", 0), std::string::npos)
+        << key << " published with the optimizer off";
+  }
+
+  config.plan_optimizer.coalesce_runs = true;
+  config.plan_optimizer.dense_prefix = true;
+  config.plan_optimizer.adaptive_threshold = true;
+  const workloads::RunResult on = workloads::RunWorkload(config);
+  ASSERT_GT(on.gc_count, 0u);
+  auto find = [&](const char* name) -> std::uint64_t {
+    for (const auto& [key, value] : on.gc_counters) {
+      if (key == name) return value;
+    }
+    ADD_FAILURE() << "missing gc counter " << name;
+    return 0;
+  };
+  EXPECT_GT(find("gc.plan.runs_coalesced"), 0u);
+  // Republished per cycle, not accumulated: the last cycle's threshold.
+  const std::uint64_t threshold = find("gc.plan.threshold_pages");
+  EXPECT_GE(threshold, 1u);
+  EXPECT_LE(threshold, 64u);
+  find("gc.plan.dense_prefix_bytes");  // present (may legitimately be 0)
+}
+
+// The run-length histogram holds one sample per coalesced move and mirrors
+// the counter: sum(samples) is the coalesced-object total, count matches
+// gc.plan.runs_coalesced.
+TEST(TelemetryPlanOptimizer, RunLengthHistogramMatchesCounter) {
+  if (!telemetry::kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  svagc::testing::SimBundle sim(4, 256ULL << 20);
+  rt::JvmConfig jvm_config;
+  jvm_config.heap.capacity = 8 << 20;
+  rt::Jvm jvm(sim.machine, sim.phys, sim.kernel, jvm_config);
+  auto owned = std::make_unique<core::SvagcCollector>(sim.machine, 2, 0);
+  core::SvagcCollector* svagc = owned.get();
+  gc::PlanOptimizerConfig optimizer;
+  optimizer.coalesce_runs = true;
+  svagc->set_plan_optimizer(optimizer);
+  jvm.set_collector(std::move(owned));
+
+  // Garbage below a span of adjacent small survivors: one coalesced run.
+  for (int i = 0; i < 20; ++i) jvm.New(1, 0, sim::kPageSize);  // dies
+  const auto table = jvm.roots().Add(jvm.New(2, 128, 0));
+  for (unsigned i = 0; i < 128; ++i) {
+    jvm.View(jvm.roots().Get(table)).set_ref(i, jvm.New(1, 0, 256));
+  }
+  jvm.RetireAllTlabs();
+  jvm.collector().Collect(jvm);
+
+  const std::uint64_t runs =
+      svagc->metrics().CounterValue("gc.plan.runs_coalesced");
+  ASSERT_GT(runs, 0u);
+  const telemetry::Histogram* hist =
+      svagc->metrics().FindHistogram("gc.plan.objects_per_run");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count(), runs);
+  // One sample per coalesced move; each covers at least two objects, and
+  // their sum is the coalesced-object total from the plan stats.
+  double total = 0;
+  for (const double sample : hist->Snapshot()) {
+    EXPECT_GE(sample, 2.0);
+    total += sample;
+  }
+  EXPECT_EQ(static_cast<std::uint64_t>(total),
+            svagc->last_plan_stats().objects_in_runs);
 }
 
 // Determinism: identical runs produce identical counter snapshots and
