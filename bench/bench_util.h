@@ -1,6 +1,7 @@
 // Shared helpers for the figure/table reproduction harnesses.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -62,5 +63,38 @@ inline std::string Ms(double cycles, const sim::CostProfile& profile) {
 }
 
 inline std::string Pct(double x) { return Format("%.1f%%", x); }
+
+// Environment overrides for fleet-mode harnesses (fig20): SVAGC_TENANTS,
+// SVAGC_FLEET_SLO_MS, SVAGC_FLEET_K.
+inline unsigned EnvUnsigned(const char* name, unsigned fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return fallback;
+  return static_cast<unsigned>(std::strtoul(value, nullptr, 10));
+}
+
+inline double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return fallback;
+  return std::strtod(value, nullptr);
+}
+
+// Worst-tenant pause roll-up for multi-tenant tables (fig02, fig20). Each
+// tenant's RunResult carries its own pause distribution; fleet-level rows
+// report the worst tenant — the noisy neighbour's victim is the number a
+// multi-tenant SLO is judged by, not the fleet mean.
+struct TenantPauses {
+  double p99_cycles = 0;  // worst per-tenant p99 pause
+  double max_cycles = 0;  // worst single pause anywhere in the fleet
+};
+
+inline TenantPauses WorstTenantPauses(
+    const std::vector<workloads::RunResult>& tenants) {
+  TenantPauses worst;
+  for (const workloads::RunResult& r : tenants) {
+    worst.p99_cycles = std::max(worst.p99_cycles, r.gc_p99_cycles);
+    worst.max_cycles = std::max(worst.max_cycles, r.gc_max_cycles);
+  }
+  return worst;
+}
 
 }  // namespace svagc::bench

@@ -13,7 +13,7 @@ int main() {
   bench::PrintProfileHeader(profile);
 
   TablePrinter table({"JVMs", "app time(ms)", "GC total(ms)", "GC max(ms)",
-                      "app growth", "GC growth"});
+                      "GC p99(ms)", "app growth", "GC growth"});
   double base_app = 0;
   double base_gc = 0;
   for (unsigned jvms : bench::SmokeSweep<unsigned>({1, 2, 4, 8, 16, 32})) {
@@ -38,8 +38,10 @@ int main() {
       base_app = app;
       base_gc = gc_total;
     }
+    const bench::TenantPauses pauses = bench::WorstTenantPauses(results);
     table.AddRow({Format("%u", jvms), bench::Ms(app, profile),
                   bench::Ms(gc_total, profile), bench::Ms(gc_max, profile),
+                  bench::Ms(pauses.p99_cycles, profile),
                   bench::Pct(100 * (app / base_app - 1)),
                   bench::Pct(100 * (gc_total / base_gc - 1))});
   }

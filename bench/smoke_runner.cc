@@ -260,6 +260,7 @@ int main(int argc, char** argv) {
       "fig17_forward_scaling",
       "fig18_huge_swap",
       "fig19_plan_optimizer",
+      "fig20_fleet_arbiter",
       "tab02_config",
       "tab03_cache_dtlb",
       "ablation_minor_copy",

@@ -119,6 +119,15 @@ void SvagcCollector::CompactionPrologue(rt::Jvm& jvm, sim::CpuContext& ctx) {
   for (auto& mover : movers_) {
     mover->set_tlb_policy(config_.move.tlb_policy);
   }
+  if (epoch_flush_coordinator_ != nullptr &&
+      epoch_flush_coordinator_->ConsumeEpochFlush(jvm.address_space().asid())) {
+    // The fleet epoch broadcast (issued after this cycle's last pre-compact
+    // translation, at the adjust/compact boundary) already left every remote
+    // TLB clean for this process; a second shootdown would re-pay the IPI
+    // round the batching exists to share.
+    metrics().counter("gc.flushes_coalesced").Add();
+    return;
+  }
   jvm.kernel().SysFlushProcessTlbs(jvm.address_space(), ctx);
 }
 

@@ -16,6 +16,21 @@
 
 namespace svagc::core {
 
+// Cross-process TLB coordination (the fleet arbiter implements this). When
+// several tenants' cycles run phase-interleaved, the arbiter issues ONE
+// multi-asid broadcast at the adjust/compact boundary covering every
+// co-admitted process; each tenant's compaction prologue then asks whether
+// its own Algorithm 4 process-wide shootdown is already covered and skips
+// it. Coverage is single-use: a consult consumes it.
+class EpochFlushCoordinator {
+ public:
+  virtual ~EpochFlushCoordinator() = default;
+  // True when a still-valid epoch broadcast covers `asid`; the caller may
+  // (must, to keep IPI accounting shared) skip its own process flush for
+  // this cycle.
+  virtual bool ConsumeEpochFlush(std::uint64_t asid) = 0;
+};
+
 struct SvagcConfig {
   MoveObjectConfig move;
   // kLocalOnly  = Algorithm 4 (pin + one up-front shootdown, local flushes)
@@ -43,6 +58,14 @@ class SvagcCollector : public gc::ParallelLisp2 {
   // Fig. 10 crossover when the plan optimizer's adaptive_threshold knob is
   // on, else the static MoveObjectConfig value.
   std::uint64_t PlanSwapThresholdPages(rt::Jvm& jvm) const override;
+
+  // Attaches (or detaches, with nullptr) the fleet arbiter's epoch-flush
+  // coordinator. Not owned. With no coordinator — or whenever the
+  // coordinator reports no coverage — the prologue issues its own
+  // process-wide shootdown exactly as before.
+  void set_epoch_flush_coordinator(EpochFlushCoordinator* coordinator) {
+    epoch_flush_coordinator_ = coordinator;
+  }
 
  protected:
   void MoveObject(rt::Jvm& jvm, sim::CpuContext& ctx, unsigned worker,
@@ -72,6 +95,7 @@ class SvagcCollector : public gc::ParallelLisp2 {
   std::uint64_t prev_moved_total_ = 0;
   // The threshold the prologue applied this cycle (telemetry/debugging).
   std::uint64_t cycle_threshold_pages_ = 0;
+  EpochFlushCoordinator* epoch_flush_coordinator_ = nullptr;
 };
 
 }  // namespace svagc::core

@@ -86,31 +86,69 @@ double ReplayListSchedule(unsigned workers,
 }  // namespace
 
 void ParallelLisp2::Collect(rt::Jvm& jvm) {
-  rt::GcCycleRecord rec;
-  CycleTasks tasks;
-  const bool tracing = tracer() != nullptr;
-  rt::Heap& heap = jvm.heap();
+  BeginCycle(jvm);
+  while (cycle_active()) StepPhase();
+}
 
-  // Phase I: parallel marking.
-  MarkBitmap bitmap(heap);
-  bitmap.Clear();
+void ParallelLisp2::BeginCycle(rt::Jvm& jvm) {
+  SVAGC_CHECK(cycle_ == nullptr);  // one cycle in flight per collector
+  cycle_ = std::make_unique<CycleState>(jvm);
+}
+
+void ParallelLisp2::StepPhase() {
+  SVAGC_CHECK(cycle_ != nullptr);
+  switch (cycle_->next) {
+    case GcPhase::kMark:
+      StepMark();
+      cycle_->next = GcPhase::kForward;
+      return;
+    case GcPhase::kForward:
+      StepForward();
+      cycle_->next = GcPhase::kAdjust;
+      return;
+    case GcPhase::kAdjust:
+      StepAdjust();
+      cycle_->next = GcPhase::kCompact;
+      return;
+    case GcPhase::kCompact: {
+      StepCompact();
+      CycleState& c = *cycle_;
+      log_.Record(c.rec);
+      PublishCycleTelemetry(c.rec, c.tasks);
+      cycle_.reset();
+      return;
+    }
+    case GcPhase::kDone:
+      SVAGC_CHECK(false);
+  }
+}
+
+// Phase I: parallel marking.
+void ParallelLisp2::StepMark() {
+  CycleState& c = *cycle_;
+  c.bitmap.Clear();
   BeginPhaseCapture();
-  MarkParallel(jvm, bitmap, *this, &rec.mark);
-  if (tracing) tasks[0] = WorkerTaskSpans("mark", EndPhaseCapture());
+  MarkParallel(*c.jvm, c.bitmap, *this, &c.rec.mark);
+  if (tracer() != nullptr) {
+    c.tasks[0] = WorkerTaskSpans("mark", EndPhaseCapture());
+  }
+}
 
-  // Phase II: forwarding calculation. The parallel region-summary pipeline
-  // needs >= 2 workers to beat the single-sweep serial reference (its
-  // summary + install passes read every live header twice).
-  ForwardingResult fwd{};
+// Phase II: forwarding calculation. The parallel region-summary pipeline
+// needs >= 2 workers to beat the single-sweep serial reference (its
+// summary + install passes read every live header twice).
+void ParallelLisp2::StepForward() {
+  CycleState& c = *cycle_;
+  rt::Jvm& jvm = *c.jvm;
   BeginPhaseCapture();
   if (forwarding_mode_ == ForwardingMode::kParallelSummary &&
       gc_threads() > 1) {
-    fwd = ComputeForwardingParallel(jvm, bitmap, *this, region_bytes_,
-                                    EvacuateAllLive(), &rec.forward);
+    c.fwd = ComputeForwardingParallel(jvm, c.bitmap, *this, region_bytes_,
+                                      EvacuateAllLive(), &c.rec.forward);
   } else {
-    rec.forward = RunSerialPhase([&](sim::CpuContext& ctx) {
-      fwd = ComputeForwarding(jvm, bitmap, ctx, costs(), region_bytes_,
-                              EvacuateAllLive());
+    c.rec.forward = RunSerialPhase([&](sim::CpuContext& ctx) {
+      c.fwd = ComputeForwarding(jvm, c.bitmap, ctx, costs(), region_bytes_,
+                                EvacuateAllLive());
     });
   }
   // Plan-optimizer pass (still part of the forwarding phase for pause
@@ -118,9 +156,9 @@ void ParallelLisp2::Collect(rt::Jvm& jvm) {
   last_plan_stats_ = PlanOptimizerStats{};
   if (plan_optimizer_.enabled()) {
     const std::uint64_t threshold = PlanSwapThresholdPages(jvm);
-    rec.forward += RunSerialPhase([&](sim::CpuContext& ctx) {
+    c.rec.forward += RunSerialPhase([&](sim::CpuContext& ctx) {
       last_plan_stats_ =
-          OptimizePlan(jvm, fwd, plan_optimizer_, threshold, ctx, costs(),
+          OptimizePlan(jvm, c.fwd, plan_optimizer_, threshold, ctx, costs(),
                        machine_.cost(), EvacuateAllLive());
     });
     metrics().counter("gc.plan.runs_coalesced")
@@ -135,19 +173,34 @@ void ParallelLisp2::Collect(rt::Jvm& jvm) {
       run_hist.Record(static_cast<double>(len));
     }
   }
-  if (tracing) tasks[1] = WorkerTaskSpans("forward", EndPhaseCapture());
-  const CompactionPlan& plan = fwd.plan;
+  if (tracer() != nullptr) {
+    c.tasks[1] = WorkerTaskSpans("forward", EndPhaseCapture());
+  }
+}
 
-  // Phase III: parallel pointer adjustment.
+// Phase III: parallel pointer adjustment.
+void ParallelLisp2::StepAdjust() {
+  CycleState& c = *cycle_;
+  rt::Jvm& jvm = *c.jvm;
   const unsigned stride = gc_threads();
   BeginPhaseCapture();
-  rec.adjust = RunParallelPhase([&](unsigned worker, sim::CpuContext& ctx) {
-    AdjustReferences(jvm, fwd.live, ctx, costs(), worker, stride);
+  c.rec.adjust = RunParallelPhase([&](unsigned worker, sim::CpuContext& ctx) {
+    AdjustReferences(jvm, c.fwd.live, ctx, costs(), worker, stride);
   });
-  if (tracing) tasks[2] = WorkerTaskSpans("adjust", EndPhaseCapture());
+  if (tracer() != nullptr) {
+    c.tasks[2] = WorkerTaskSpans("adjust", EndPhaseCapture());
+  }
+}
 
-  // Phase IV: compaction.
-  rec.other += RunSerialPhase(
+// Phase IV: compaction (prologue, parallel evacuation, epilogue).
+void ParallelLisp2::StepCompact() {
+  CycleState& c = *cycle_;
+  rt::Jvm& jvm = *c.jvm;
+  rt::Heap& heap = jvm.heap();
+  const bool tracing = tracer() != nullptr;
+  const CompactionPlan& plan = c.fwd.plan;
+
+  c.rec.other += RunSerialPhase(
       [&](sim::CpuContext& ctx) { CompactionPrologue(jvm, ctx); });
 
   // During the STW compaction this JVM's mutator is stopped and
@@ -164,7 +217,7 @@ void ParallelLisp2::Collect(rt::Jvm& jvm) {
     // Serial compaction (the Shenandoah-like baseline's copying phase):
     // in-address-order evacuation needs no dependency tracking.
     const std::uint64_t num_regions = plan.region_moves.size();
-    rec.compact = RunSerialPhase([&](sim::CpuContext& ctx) {
+    c.rec.compact = RunSerialPhase([&](sim::CpuContext& ctx) {
       for (std::uint64_t region = 0; region < num_regions; ++region) {
         for (const Move& move : plan.region_moves[region]) {
           MoveObject(jvm, ctx, /*worker=*/0, move);
@@ -172,20 +225,20 @@ void ParallelLisp2::Collect(rt::Jvm& jvm) {
         FlushMoves(jvm, ctx, /*worker=*/0);
       }
     });
-    if (tracing) tasks[3] = WorkerTaskSpans("compact", EndPhaseCapture());
+    if (tracing) c.tasks[3] = WorkerTaskSpans("compact", EndPhaseCapture());
   } else if (scheduler_ == CompactionSchedulerKind::kStaticBlocks) {
-    rec.compact = CompactStaticBlocks(jvm, plan, compact_workers);
-    if (tracing) tasks[3] = WorkerTaskSpans("compact", EndPhaseCapture());
+    c.rec.compact = CompactStaticBlocks(jvm, plan, compact_workers);
+    if (tracing) c.tasks[3] = WorkerTaskSpans("compact", EndPhaseCapture());
   } else {
     // Work stealing runs against scratch accounts, so worker deltas carry
     // nothing here; the deterministic replay supplies the task spans.
-    rec.compact = CompactWorkStealing(jvm, plan, compact_workers,
-                                      tracing ? &tasks[3] : nullptr);
+    c.rec.compact = CompactWorkStealing(jvm, plan, compact_workers,
+                                        tracing ? &c.tasks[3] : nullptr);
   }
 
   machine_.SetActiveMemoryStreams(prev_streams);
 
-  rec.other += RunSerialPhase([&](sim::CpuContext& ctx) {
+  c.rec.other += RunSerialPhase([&](sim::CpuContext& ctx) {
     CompactionEpilogue(jvm, ctx);
     // Re-tile the reclaimed gaps so the heap stays linearly parsable, and
     // publish the new top.
@@ -195,13 +248,10 @@ void ParallelLisp2::Collect(rt::Jvm& jvm) {
     }
     heap.SetTopAfterGc(plan.new_top);
   });
-  if (tracing && rec.other > 0) {
+  if (tracing && c.rec.other > 0) {
     // Prologue + epilogue both run serially on worker 0.
-    tasks[4].push_back(TaskSpan{0, "other/w0", 0.0, rec.other});
+    c.tasks[4].push_back(TaskSpan{0, "other/w0", 0.0, c.rec.other});
   }
-
-  log_.Record(rec);
-  PublishCycleTelemetry(rec, tasks);
 }
 
 void ParallelLisp2::ExecuteRegion(rt::Jvm& jvm, sim::CpuContext& ctx,

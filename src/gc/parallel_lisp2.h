@@ -59,6 +59,34 @@ enum class CompactionSchedulerKind {
   kWorkStealing,
 };
 
+// The four top-level phases of one LISP2 cycle, in execution order. Used by
+// the stepwise collection API: a driver (the fleet arbiter) can run several
+// tenants' cycles phase-interleaved and insert cross-tenant work — notably
+// one shared epoch TLB broadcast — at the adjust/compact boundary.
+enum class GcPhase : unsigned {
+  kMark = 0,
+  kForward,
+  kAdjust,
+  kCompact,
+  kDone,  // no cycle in flight
+};
+
+inline const char* GcPhaseName(GcPhase phase) {
+  switch (phase) {
+    case GcPhase::kMark:
+      return "mark";
+    case GcPhase::kForward:
+      return "forward";
+    case GcPhase::kAdjust:
+      return "adjust";
+    case GcPhase::kCompact:
+      return "compact";
+    case GcPhase::kDone:
+      return "done";
+  }
+  return "?";
+}
+
 class ParallelLisp2 : public CollectorBase {
  public:
   ParallelLisp2(sim::Machine& machine, unsigned gc_threads,
@@ -68,7 +96,23 @@ class ParallelLisp2 : public CollectorBase {
 
   const char* name() const override { return "ParallelLISP2"; }
 
+  // One full STW cycle: BeginCycle + StepPhase until done.
   void Collect(rt::Jvm& jvm) override;
+
+  // --- stepwise collection (the fleet-arbiter yield seam) ------------------
+  // BeginCycle opens a cycle; each StepPhase runs exactly one phase (mark,
+  // forward incl. the plan optimizer, adjust, then compact incl. prologue/
+  // epilogue and the cycle record). Between steps the collector is quiescent:
+  // no worker holds modeled state, so a driver may run other tenants' steps
+  // — or a cross-tenant TLB flush — before resuming. Collect() is exactly
+  // BeginCycle + 4 StepPhase calls, so single-stepped and monolithic cycles
+  // are bit-identical.
+  void BeginCycle(rt::Jvm& jvm);
+  void StepPhase();
+  bool cycle_active() const { return cycle_ != nullptr; }
+  GcPhase next_phase() const {
+    return cycle_ == nullptr ? GcPhase::kDone : cycle_->next;
+  }
 
   ForwardingMode forwarding_mode() const { return forwarding_mode_; }
   void set_forwarding_mode(ForwardingMode mode) { forwarding_mode_ = mode; }
@@ -134,6 +178,23 @@ class ParallelLisp2 : public CollectorBase {
   std::uint64_t region_bytes_;
 
  private:
+  // In-flight cycle state for the stepwise API. Owned between BeginCycle and
+  // the final StepPhase; null while no cycle is active.
+  struct CycleState {
+    explicit CycleState(rt::Jvm& jvm) : jvm(&jvm), bitmap(jvm.heap()) {}
+    rt::Jvm* jvm;
+    rt::GcCycleRecord rec;
+    CycleTasks tasks;
+    MarkBitmap bitmap;
+    ForwardingResult fwd{};
+    GcPhase next = GcPhase::kMark;
+  };
+
+  void StepMark();
+  void StepForward();
+  void StepAdjust();
+  void StepCompact();
+
   // Evacuates one region's moves on `worker` and records the region's
   // modeled cost delta (for the work-stealing replay).
   void ExecuteRegion(rt::Jvm& jvm, sim::CpuContext& ctx, unsigned worker,
@@ -156,6 +217,7 @@ class ParallelLisp2 : public CollectorBase {
   CompactionSchedulerKind scheduler_ = CompactionSchedulerKind::kWorkStealing;
   PlanOptimizerConfig plan_optimizer_;
   PlanOptimizerStats last_plan_stats_;
+  std::unique_ptr<CycleState> cycle_;
 
   // --- Per-cycle compaction scheduling state ---
   // Static blocks: completion flags + monotone done-prefix frontier.

@@ -43,9 +43,14 @@ enum class FaultPoint {
   // are involutions) so the request is still all-or-nothing, then returns
   // kFault with the usual partial-vector semantics.
   kHugeSwapFault,
+  // The multi-asid broadcast of a fleet epoch flush (SysFlushFleetTlbs)
+  // fails. Error-coded: the local flush halves are already applied, the
+  // syscall returns kFault, and the caller (the fleet arbiter) must fall
+  // back to per-process SysFlushProcessTlbs broadcasts.
+  kDropEpochBroadcast,
 };
 
-inline constexpr std::size_t kNumFaultPoints = 6;
+inline constexpr std::size_t kNumFaultPoints = 7;
 
 inline const char* FaultPointName(FaultPoint point) {
   switch (point) {
@@ -61,6 +66,8 @@ inline const char* FaultPointName(FaultPoint point) {
       return "refuse-pin";
     case FaultPoint::kHugeSwapFault:
       return "huge-swap-fault";
+    case FaultPoint::kDropEpochBroadcast:
+      return "drop-epoch-broadcast";
   }
   return "?";
 }

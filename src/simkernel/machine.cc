@@ -36,6 +36,26 @@ void Machine::SendTlbShootdown(CpuContext& ctx, std::uint64_t asid) {
   }
 }
 
+void Machine::SendTlbShootdownMulti(CpuContext& ctx,
+                                    std::span<const std::uint64_t> asids) {
+  if (asids.empty()) return;
+  metrics_.counter("ipi.broadcasts").Add();
+  for (unsigned core = 0; core < num_cores_; ++core) {
+    if (core == ctx.core_id) continue;
+    ctx.account.Charge(CostKind::kIpi, profile_.ipi_send);
+    ipis_sent_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.counter("ipi.sent").Add();
+    // One interrupt, several address spaces: the handler cost amortizes
+    // across the batch, the per-asid flushes do not.
+    disturbance_[core]->fetch_add(
+        static_cast<std::uint64_t>(
+            profile_.ipi_handle +
+            profile_.tlb_flush_local * static_cast<double>(asids.size())),
+        std::memory_order_relaxed);
+    for (const std::uint64_t asid : asids) tlb(core).FlushAsid(asid);
+  }
+}
+
 std::uint64_t Machine::TotalDisturbanceCycles() const {
   std::uint64_t total = 0;
   for (const auto& cell : disturbance_) total += cell->load(std::memory_order_relaxed);

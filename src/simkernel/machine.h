@@ -12,6 +12,7 @@
 #include <cmath>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "simkernel/cost_model.h"
@@ -60,6 +61,14 @@ class Machine {
   // flush its TLB for `asid`. Charges the sender ipi_send per target and
   // books ipi_handle cycles of disturbance on each target core.
   void SendTlbShootdown(CpuContext& ctx, std::uint64_t asid);
+
+  // Batched cross-process round: one IPI per remote core covering every asid
+  // in `asids` (the fleet arbiter's epoch flush). The interrupt cost is paid
+  // once per target core — that is the whole point of batching — while each
+  // target still pays one local flush per asid it must invalidate. Counts as
+  // a single entry in "ipi.broadcasts".
+  void SendTlbShootdownMulti(CpuContext& ctx,
+                             std::span<const std::uint64_t> asids);
 
   // Per-core disturbance ledger (cycles stolen from whatever ran there).
   std::uint64_t DisturbanceCycles(unsigned core_id) const {

@@ -2,6 +2,7 @@
 
 #include <numeric>
 #include <utility>
+#include <vector>
 
 #include "support/align.h"
 
@@ -138,6 +139,22 @@ void Kernel::SysFlushProcessTlbs(AddressSpace& as, CpuContext& ctx) {
   if (!Inject(FaultPoint::kDropTlbShootdown)) {
     machine_.SendTlbShootdown(ctx, as.asid());
   }
+}
+
+SysStatus Kernel::SysFlushFleetTlbs(std::span<AddressSpace* const> spaces,
+                                    CpuContext& ctx) {
+  ctx.account.Charge(CostKind::kSyscall, machine_.cost().syscall_entry);
+  ctr_flush_fleet_.Add();
+  std::vector<std::uint64_t> asids;
+  asids.reserve(spaces.size());
+  for (AddressSpace* as : spaces) {
+    SVAGC_CHECK(as != nullptr);
+    machine_.FlushLocalTlb(ctx, as->asid());
+    asids.push_back(as->asid());
+  }
+  if (Inject(FaultPoint::kDropEpochBroadcast)) return SysStatus::kFault;
+  machine_.SendTlbShootdownMulti(ctx, asids);
+  return SysStatus::kOk;
 }
 
 SysStatus Kernel::SysPin(CpuContext& ctx) {

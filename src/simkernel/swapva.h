@@ -112,6 +112,7 @@ class Kernel {
         ctr_not_pinned_(machine.metrics().counter("pin.not_pinned")),
         ctr_unpin_calls_(machine.metrics().counter("unpin.calls")),
         ctr_flush_process_(machine.metrics().counter("flush.process")),
+        ctr_flush_fleet_(machine.metrics().counter("flush.fleet")),
         ctr_pmd_hits_(machine.metrics().counter("pmd.hits")),
         ctr_pmd_misses_(machine.metrics().counter("pmd.misses")),
         ctr_pmd_swaps_(machine.metrics().counter("swapva.pmd_swaps")),
@@ -137,6 +138,16 @@ class Kernel {
   // flush_tlb_all_cores(pid): Algorithm 4 line 5 — one local flush plus a
   // broadcast shootdown, invoked once before a pinned compaction phase.
   void SysFlushProcessTlbs(AddressSpace& as, CpuContext& ctx);
+
+  // Fleet epoch flush: the batched, cross-process generalization the
+  // multi-tenant arbiter uses. One kernel entry, one local flush per address
+  // space on the calling core, then a single multi-asid shootdown round —
+  // every remote core takes ONE interrupt for the whole batch instead of one
+  // per process. Returns kFault when the broadcast is lost
+  // (kDropEpochBroadcast); the local halves are already applied and the
+  // caller must fall back to per-process SysFlushProcessTlbs.
+  SysStatus SysFlushFleetTlbs(std::span<AddressSpace* const> spaces,
+                              CpuContext& ctx);
 
   // sched_setaffinity-style pin/unpin. In the simulation pinning is a
   // correctness *declaration*: the caller promises all its translations
@@ -226,6 +237,7 @@ class Kernel {
   telemetry::Counter& ctr_not_pinned_;
   telemetry::Counter& ctr_unpin_calls_;
   telemetry::Counter& ctr_flush_process_;
+  telemetry::Counter& ctr_flush_fleet_;
   telemetry::Counter& ctr_pmd_hits_;
   telemetry::Counter& ctr_pmd_misses_;
   telemetry::Counter& ctr_pmd_swaps_;

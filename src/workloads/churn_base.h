@@ -10,9 +10,16 @@ class TableWorkload : public Workload {
  public:
   const WorkloadInfo& info() const override { return info_; }
 
+  // Golden-ratio stride keeps the derived seeds pairwise distinct; tenant 0
+  // reproduces the constructor stream exactly (Rng seeds via SplitMix64, so
+  // equal seeds mean equal streams).
+  void SeedTenant(unsigned tenant) override {
+    rng_ = Rng(seed_ + tenant * 0x9E3779B97F4A7C15ULL);
+  }
+
  protected:
   explicit TableWorkload(WorkloadInfo info, std::uint64_t seed = 42)
-      : info_(std::move(info)), rng_(seed) {}
+      : info_(std::move(info)), seed_(seed), rng_(seed) {}
 
   // Rotates allocation across the JVM's logical threads so TLAB
   // demographics match the benchmark's thread count.
@@ -22,6 +29,7 @@ class TableWorkload : public Workload {
 
   WorkloadInfo info_;
   rt::RootSet::Handle table_ = 0;
+  std::uint64_t seed_;
   Rng rng_;
   unsigned next_thread_ = 0;
 };

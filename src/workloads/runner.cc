@@ -67,19 +67,18 @@ std::unique_ptr<rt::CollectorIface> MakeCollector(CollectorKind kind,
   return collector;
 }
 
-struct JvmBundle {
-  std::unique_ptr<rt::Jvm> jvm;
-  std::unique_ptr<Workload> workload;
-  unsigned mutator_core = 0;
-};
+}  // namespace
 
-JvmBundle MakeJvm(const RunConfig& config, sim::Machine& machine,
-                  sim::PhysicalMemory& phys, sim::Kernel& kernel,
-                  unsigned mutator_core, unsigned gc_first_core,
-                  rt::vaddr_t heap_base) {
-  JvmBundle bundle;
+TenantBundle MakeTenant(const RunConfig& config, sim::Machine& machine,
+                        sim::PhysicalMemory& phys, sim::Kernel& kernel,
+                        unsigned tenant, unsigned mutator_core,
+                        unsigned gc_first_core, rt::vaddr_t heap_base) {
+  TenantBundle bundle;
   bundle.workload = MakeWorkload(config.workload);
   SVAGC_CHECK(bundle.workload != nullptr);
+  // Independent, deterministic per-tenant stream (tenant 0 keeps the
+  // constructor stream, so single-tenant runs are unchanged).
+  bundle.workload->SeedTenant(tenant);
   const WorkloadInfo& info = bundle.workload->info();
 
   rt::JvmConfig jvm_config;
@@ -103,8 +102,8 @@ JvmBundle MakeJvm(const RunConfig& config, sim::Machine& machine,
   return bundle;
 }
 
-RunResult Harvest(const RunConfig& config, sim::Machine& machine,
-                  JvmBundle& bundle, unsigned iterations) {
+RunResult HarvestTenant(const RunConfig& config, sim::Machine& machine,
+                        TenantBundle& bundle, unsigned iterations) {
   RunResult result;
   rt::Jvm& jvm = *bundle.jvm;
   result.info = bundle.workload->info();
@@ -112,11 +111,12 @@ RunResult Harvest(const RunConfig& config, sim::Machine& machine,
   result.iterations = iterations;
   result.heap_bytes = jvm.heap().capacity();
 
-  const rt::GcLog& log = jvm.collector().log();
+  rt::GcLog& log = jvm.collector().log();
   result.gc_count = log.collections;
   result.gc_total_cycles = log.pauses.total();
   result.gc_avg_cycles = log.pauses.mean();
   result.gc_max_cycles = log.pauses.max();
+  result.gc_p99_cycles = log.pauses.Percentile(99);
   result.phase_sum = log.Sum();
 
   result.mutator_cycles = jvm.MutatorCycles();
@@ -163,8 +163,6 @@ RunResult Harvest(const RunConfig& config, sim::Machine& machine,
   return result;
 }
 
-}  // namespace
-
 const char* CollectorKindName(CollectorKind kind) {
   switch (kind) {
     case CollectorKind::kSvagc:
@@ -200,15 +198,16 @@ RunResult RunWorkload(const RunConfig& config) {
       config.heap_factor);
   sim::PhysicalMemory phys(heap_bytes + (8ULL << 20));
 
-  JvmBundle bundle = MakeJvm(config, machine, phys, kernel,
-                             /*mutator_core=*/0, /*gc_first_core=*/0,
-                             /*heap_base=*/1ULL << 32);
+  TenantBundle bundle = MakeTenant(config, machine, phys, kernel,
+                                   /*tenant=*/0, /*mutator_core=*/0,
+                                   /*gc_first_core=*/0,
+                                   /*heap_base=*/1ULL << 32);
   bundle.workload->Setup(*bundle.jvm);
   const unsigned iterations = config.iterations != 0
                                   ? config.iterations
                                   : bundle.workload->default_iterations();
   for (unsigned i = 0; i < iterations; ++i) bundle.workload->Iterate(*bundle.jvm);
-  return Harvest(config, machine, bundle, iterations);
+  return HarvestTenant(config, machine, bundle, iterations);
 }
 
 std::vector<RunResult> RunMultiJvm(const RunConfig& config, unsigned num_jvms) {
@@ -229,15 +228,15 @@ std::vector<RunResult> RunMultiJvm(const RunConfig& config, unsigned num_jvms) {
       config.heap_factor);
   sim::PhysicalMemory phys((heap_bytes + (8ULL << 20)) * num_jvms);
 
-  std::vector<JvmBundle> bundles;
+  std::vector<TenantBundle> bundles;
   bundles.reserve(num_jvms);
   for (unsigned j = 0; j < num_jvms; ++j) {
     const unsigned mutator_core = j % config.machine_cores;
     const unsigned gc_first_core =
         (j * config.gc_threads) % config.machine_cores;
-    bundles.push_back(MakeJvm(config, machine, phys, kernel, mutator_core,
-                              gc_first_core,
-                              (1ULL << 32) + j * (1ULL << 36)));
+    bundles.push_back(MakeTenant(config, machine, phys, kernel, /*tenant=*/j,
+                                 mutator_core, gc_first_core,
+                                 (1ULL << 32) + j * (1ULL << 36)));
     bundles.back().workload->Setup(*bundles.back().jvm);
   }
 
@@ -252,7 +251,7 @@ std::vector<RunResult> RunMultiJvm(const RunConfig& config, unsigned num_jvms) {
   std::vector<RunResult> results;
   results.reserve(num_jvms);
   for (auto& bundle : bundles) {
-    results.push_back(Harvest(config, machine, bundle, iterations));
+    results.push_back(HarvestTenant(config, machine, bundle, iterations));
   }
   return results;
 }

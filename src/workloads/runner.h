@@ -65,7 +65,22 @@ struct RunResult {
   double gc_total_cycles = 0;
   double gc_avg_cycles = 0;
   double gc_max_cycles = 0;
+  double gc_p99_cycles = 0;  // pause-time p99 across this run's cycles
   rt::GcCycleRecord phase_sum;  // per-phase totals across all cycles
+
+  // Fleet-mode SLO accounting, filled by fleet::RunFleet (zero elsewhere).
+  // "Observed pause" is what the tenant's mutator experiences per cycle:
+  // admission-queue wait plus the STW pause itself.
+  double gc_wait_cycles = 0;             // total admission-queue wait
+  double gc_wait_max_cycles = 0;         // worst single-cycle wait
+  double observed_pause_max_cycles = 0;  // max(wait + pause) over cycles
+  std::uint64_t slo_violations = 0;      // cycles with STW pause > budget
+  double slo_budget_cycles = 0;          // the budget those were judged by
+  std::uint64_t emergency_gcs = 0;       // exhaustion GCs that bypassed the
+                                         // arbiter (allocation-failure path)
+  std::uint64_t heap_digest = 0;         // semantic end-of-run heap digest,
+                                         // filled when FleetConfig asks for
+                                         // it (fleet differential tests)
 
   double mutator_cycles = 0;
   double disturbance_cycles = 0;  // IPIs landing on this JVM's core
@@ -88,6 +103,27 @@ struct RunResult {
   std::vector<std::pair<std::string, std::uint64_t>> machine_counters;
   std::vector<std::pair<std::string, std::uint64_t>> gc_counters;
 };
+
+// --- building blocks shared with the fleet layer (src/fleet) ----------------
+
+// One tenant: a JVM wired to its collector plus the workload instance that
+// drives it. The workload's RNG stream is already derived for `tenant`
+// (SeedTenant); Setup has NOT been run.
+struct TenantBundle {
+  std::unique_ptr<rt::Jvm> jvm;
+  std::unique_ptr<Workload> workload;
+  unsigned mutator_core = 0;
+};
+
+TenantBundle MakeTenant(const RunConfig& config, sim::Machine& machine,
+                        sim::PhysicalMemory& phys, sim::Kernel& kernel,
+                        unsigned tenant, unsigned mutator_core,
+                        unsigned gc_first_core, rt::vaddr_t heap_base);
+
+// Reads the collector log, machine counters and telemetry registries into a
+// RunResult (the fleet fields stay zero — the fleet runner fills them).
+RunResult HarvestTenant(const RunConfig& config, sim::Machine& machine,
+                        TenantBundle& bundle, unsigned iterations);
 
 // Single-JVM experiment on a fresh machine.
 RunResult RunWorkload(const RunConfig& config);

@@ -53,6 +53,15 @@ class Workload {
   // Implementations rotate across the JVM's logical threads themselves.
   virtual void Iterate(rt::Jvm& jvm) = 0;
 
+  // Re-derives this instance's RNG stream for tenant slot `tenant` of a
+  // multi-tenant run. Every instance of a workload constructs with the same
+  // base seed, so without this hook all tenants of a fleet replay identical
+  // allocation streams in lockstep — artificially synchronized GC triggers.
+  // Tenant 0 must keep the constructor stream (single-tenant runs stay
+  // bit-identical); tenants must get pairwise-independent, deterministic
+  // streams. Call before Setup. Workloads without randomness ignore it.
+  virtual void SeedTenant(unsigned tenant) { (void)tenant; }
+
   // Default number of iterations for a "full run" in the benches.
   virtual unsigned default_iterations() const { return 60; }
 };

@@ -10,6 +10,7 @@
 
 #include "core/minor_copy.h"
 #include "core/svagc_collector.h"
+#include "fleet/fleet_runner.h"
 #include "tests/test_util.h"
 #include "verify/differential_oracle.h"
 #include "verify/fault_injector.h"
@@ -429,6 +430,54 @@ TEST_F(FaultInjectionTest, ControlRunWithInjectorAttachedButUnarmed) {
   EXPECT_EQ(ChecksumReachable(jvm), checksum);
   const auto report = verify::InvariantRegistry::Default().RunAll(jvm);
   EXPECT_TRUE(report.ok) << report.Describe();
+}
+
+// --- kDropEpochBroadcast: error-coded, arbiter falls back per member ---------
+
+// The fleet arbiter's multi-ASID epoch broadcast returns kFault when the
+// shootdown round is dropped; the kernel has already applied the local
+// halves, and the arbiter must recover by issuing each member's ordinary
+// process flush instead. End to end: every epoch broadcast of a 4-tenant
+// fleet is dropped, the fleet completes, every heap verifies, and the final
+// heaps are semantically identical to an uninjected run.
+TEST_F(FaultInjectionTest, DroppedEpochBroadcastFallsBackAndRecovers) {
+  auto make_config = [] {
+    fleet::FleetConfig config;
+    config.run.workload = "lrucache";
+    config.run.collector = workloads::CollectorKind::kSvagc;
+    config.run.gc_threads = 2;
+    config.run.iterations = 8;
+    config.run.verify_heap = true;
+    config.tenants = 4;
+    config.arbiter = fleet::ArbiterBatch();
+    config.digest_heaps = true;
+    return config;
+  };
+
+  const fleet::FleetResult clean = fleet::RunFleet(make_config());
+  ASSERT_GT(clean.epoch_broadcasts, 0u);
+  ASSERT_EQ(clean.broadcast_fallbacks, 0u);
+
+  injector_.Arm(sim::FaultPoint::kDropEpochBroadcast,
+                {.first = 0, .every = 1, .max_fires = 0});
+  fleet::FleetConfig injected_config = make_config();
+  injected_config.fault_hook = &injector_;
+  const fleet::FleetResult injected = fleet::RunFleet(injected_config);
+
+  // Every broadcast faulted and fell back; the run still finished with the
+  // verifier on, and the heaps match the clean fleet object for object.
+  EXPECT_GE(injector_.fires(sim::FaultPoint::kDropEpochBroadcast), 1u);
+  EXPECT_EQ(injected.broadcast_fallbacks, injected.epoch_broadcasts);
+  EXPECT_EQ(injected.epoch_broadcasts, clean.epoch_broadcasts);
+  ASSERT_EQ(injected.tenants.size(), clean.tenants.size());
+  for (std::size_t j = 0; j < clean.tenants.size(); ++j) {
+    EXPECT_EQ(injected.tenants[j].gc_count, clean.tenants[j].gc_count) << j;
+    EXPECT_EQ(injected.tenants[j].heap_digest, clean.tenants[j].heap_digest)
+        << j;
+  }
+  // The fallback path costs per-member broadcasts, so the injected fleet
+  // sends strictly more IPIs than the batched clean fleet.
+  EXPECT_GT(injected.ipis_sent, clean.ipis_sent);
 }
 
 // --- deathtest coexistence ---------------------------------------------------
