@@ -1,0 +1,155 @@
+// Fig. 21: translation-backend comparison — the 4-level radix page table
+// (with and without PMD caching) vs the hashed/inverted table whose SwapVA
+// relink is O(1) bucket probes. Four scenarios bracket the design space:
+//
+//   dense-slide    overlapping GC slide over contiguous pages (Algorithm 2),
+//                  PMD cache hot for radix — radix's best case
+//   sparse-vec     an aggregated vector of single-page swaps, one per 2 MiB
+//                  unit, PMD cache useless — the hashed backend's best case
+//   dense-disjoint fig08-shaped multi-page disjoint swap, PMD caching on —
+//                  where the crossover against cached radix sits
+//   huge-swap      fig18-shaped 2 MiB-aligned swaps with PMD swapping on —
+//                  one entry write per unit on both backends
+//
+// The walk columns isolate the translation-structure cost (CostKind
+// kPageWalk: radix directory accesses vs hashed bucket probes); the total
+// columns add the backend-independent syscall/lock/update/flush charges.
+#include "bench/bench_util.h"
+#include "simkernel/swapva.h"
+
+using namespace svagc;
+
+namespace {
+
+struct Cycles {
+  double total = 0;
+  double walk = 0;
+};
+
+Cycles Account(const sim::CpuContext& ctx) {
+  return {ctx.account.total(), ctx.account.ByKind(sim::CostKind::kPageWalk)};
+}
+
+// Overlapping slide by pages/2 over a contiguous mapping.
+Cycles DenseSlide(sim::TranslationBackend backend, std::uint64_t pages) {
+  sim::Machine machine(1, sim::ProfileXeonGold6130(), backend);
+  sim::Kernel kernel(machine);
+  const std::uint64_t delta = pages / 2;
+  sim::PhysicalMemory phys((pages + delta + 8) << sim::kPageShift);
+  sim::AddressSpace as(machine, phys);
+  const sim::vaddr_t base = 1ULL << 32;
+  as.MapRange(base, (pages + delta) << sim::kPageShift);
+  sim::CpuContext ctx(machine, 0);
+  kernel.SysSwapVa(as, ctx, base, base + (delta << sim::kPageShift), pages,
+                   sim::SwapVaOptions{});
+  return Account(ctx);
+}
+
+// `pairs` single-page swaps, every endpoint in its own 2 MiB unit.
+Cycles SparseVector(sim::TranslationBackend backend, std::uint64_t pairs) {
+  sim::Machine machine(1, sim::ProfileXeonGold6130(), backend);
+  sim::Kernel kernel(machine);
+  sim::PhysicalMemory phys((2 * pairs + 8) << sim::kPageShift);
+  sim::AddressSpace as(machine, phys);
+  const sim::vaddr_t base = 1ULL << 32;
+  std::vector<sim::SwapRequest> requests;
+  for (std::uint64_t i = 0; i < pairs; ++i) {
+    const sim::vaddr_t a = base + i * sim::kHugePageSize;
+    const sim::vaddr_t b = base + (2 * pairs - 1 - i) * sim::kHugePageSize;
+    as.MapRange(a, sim::kPageSize);
+    as.MapRange(b, sim::kPageSize);
+    requests.push_back({a, b, 1});
+  }
+  sim::CpuContext ctx(machine, 0);
+  kernel.SysSwapVaVec(as, ctx, requests, sim::SwapVaOptions{});
+  return Account(ctx);
+}
+
+// fig08 shape: one contiguous multi-page disjoint swap, PMD caching on.
+Cycles DenseDisjoint(sim::TranslationBackend backend, std::uint64_t pages) {
+  sim::Machine machine(1, sim::ProfileXeonGold6130(), backend);
+  sim::Kernel kernel(machine);
+  sim::PhysicalMemory phys((2 * pages + 8) << sim::kPageShift);
+  sim::AddressSpace as(machine, phys);
+  const sim::vaddr_t base = 1ULL << 32;
+  const std::uint64_t span = pages << sim::kPageShift;
+  as.MapRange(base, 2 * span);
+  sim::CpuContext ctx(machine, 0);
+  kernel.SysSwapVa(as, ctx, base, base + span, pages, sim::SwapVaOptions{});
+  return Account(ctx);
+}
+
+// fig18 shape: 2 MiB-aligned huge-mapped ranges, PMD swapping enabled.
+Cycles HugeSwap(sim::TranslationBackend backend, std::uint64_t units) {
+  sim::Machine machine(1, sim::ProfileXeonGold6130(), backend);
+  sim::Kernel kernel(machine);
+  sim::PhysicalMemory phys((2 * units + 1) * sim::kHugePageSize);
+  sim::AddressSpace as(machine, phys);
+  const sim::vaddr_t base = 1ULL << 33;
+  as.MapRangeHuge(base, 2 * units * sim::kHugePageSize);
+  sim::SwapVaOptions opts;
+  opts.pmd_swapping = true;
+  sim::CpuContext ctx(machine, 0);
+  kernel.SysSwapVa(as, ctx, base, base + units * sim::kHugePageSize,
+                   units * sim::kPagesPerHuge, opts);
+  return Account(ctx);
+}
+
+}  // namespace
+
+int main() {
+  const sim::CostProfile profile = sim::ProfileXeonGold6130();
+  std::printf("== Fig. 21: translation backends (radix vs hashed) ==\n");
+  bench::PrintProfileHeader(profile);
+  std::printf("hash_probe=%.0f swtlb_fill=%.0f cyc\n", profile.hash_probe,
+              profile.swtlb_fill);
+
+  TablePrinter table({"scenario", "pages", "radix(kcyc)", "hashed(kcyc)",
+                      "radix walk(kcyc)", "hashed walk(kcyc)", "hashed/radix"});
+
+  struct Scenario {
+    const char* name;
+    Cycles (*run)(sim::TranslationBackend, std::uint64_t);
+    std::vector<std::uint64_t> sizes;
+    std::uint64_t pages_per_size;  // pages = size * pages_per_size
+  };
+  const Scenario scenarios[] = {
+      {"dense-slide", DenseSlide, {64, 256, 1024}, 1},
+      {"sparse-vec", SparseVector, {16, 64, 256}, 1},
+      {"dense-disjoint", DenseDisjoint, {64, 256, 1024}, 1},
+      {"huge-swap", HugeSwap, {2, 8, 32}, sim::kPagesPerHuge},
+  };
+
+  double sparse_improvement = 0;
+  for (const Scenario& s : scenarios) {
+    for (const std::uint64_t size : bench::SmokeSweep(s.sizes)) {
+      const Cycles radix = s.run(sim::TranslationBackend::kRadix, size);
+      const Cycles hashed = s.run(sim::TranslationBackend::kHashed, size);
+      const double ratio = hashed.total / radix.total;
+      if (std::string(s.name) == "sparse-vec") {
+        sparse_improvement =
+            std::max(sparse_improvement, 100 * (1 - ratio));
+      }
+      // Row keys must be unique: the regression gate matches rows by the
+      // first column.
+      table.AddRow(
+          {Format("%s/%llu", s.name, (unsigned long long)size),
+           Format("%llu", (unsigned long long)(size * s.pages_per_size)),
+           Format("%.2f", radix.total / 1e3),
+           Format("%.2f", hashed.total / 1e3),
+           Format("%.2f", radix.walk / 1e3),
+           Format("%.2f", hashed.walk / 1e3), Format("%.3f", ratio)});
+    }
+  }
+  bench::Emit("fig21", table);
+
+  std::printf(
+      "sparse swap vectors: hashed saves up to %.1f%% of modeled cycles "
+      "(O(1) bucket relink vs per-leaf directory walk)\n",
+      sparse_improvement);
+  std::printf(
+      "dense shapes: the PMD-cached radix walk amortizes to ~1 access/page, "
+      "so cached radix and hashed converge; hashed wins whenever the cache "
+      "cannot (sparse strides, cross-unit scatter)\n");
+  return 0;
+}

@@ -14,17 +14,24 @@ namespace {
 using namespace svagc;
 
 struct Fixture {
-  sim::Machine machine{4, sim::ProfileXeonGold6130()};
+  sim::Machine machine;
   sim::Kernel kernel{machine};
   sim::PhysicalMemory phys{4096ULL << sim::kPageShift};
   sim::AddressSpace as{machine, phys};
   static constexpr sim::vaddr_t kBase = 1ULL << 32;
 
-  Fixture() { as.MapRange(kBase, 2048ULL << sim::kPageShift); }
+  explicit Fixture(
+      sim::TranslationBackend backend = sim::TranslationBackend::kRadix)
+      : machine(4, sim::ProfileXeonGold6130(), backend) {
+    as.MapRange(kBase, 2048ULL << sim::kPageShift);
+  }
 };
 
+// Second arg selects the translation backend (0 = radix, 1 = hashed), so
+// the host-time and modeled-cycle columns compare the directory walk
+// against the O(1) bucket relink directly.
 void BM_SwapVa(benchmark::State& state) {
-  Fixture f;
+  Fixture f(static_cast<sim::TranslationBackend>(state.range(1)));
   const auto pages = static_cast<std::uint64_t>(state.range(0));
   sim::SwapVaOptions opts;
   sim::CpuContext ctx(f.machine, 0);
@@ -38,7 +45,9 @@ void BM_SwapVa(benchmark::State& state) {
   state.counters["modeled_cycles_per_op"] =
       ctx.account.total() / static_cast<double>(state.iterations());
 }
-BENCHMARK(BM_SwapVa)->Arg(1)->Arg(10)->Arg(64)->Arg(256);
+BENCHMARK(BM_SwapVa)
+    ->ArgNames({"pages", "hashed"})
+    ->ArgsProduct({{1, 10, 64, 256}, {0, 1}});
 
 void BM_SwapVaNoPmdCache(benchmark::State& state) {
   Fixture f;
@@ -89,7 +98,7 @@ void BM_SwapVaOverlap(benchmark::State& state) {
 BENCHMARK(BM_SwapVaOverlap)->Arg(16)->Arg(256);
 
 void BM_AggregatedVec(benchmark::State& state) {
-  Fixture f;
+  Fixture f(static_cast<sim::TranslationBackend>(state.range(1)));
   const auto batch = static_cast<std::size_t>(state.range(0));
   std::vector<sim::SwapRequest> requests;
   for (std::size_t i = 0; i < batch; ++i) {
@@ -105,7 +114,9 @@ void BM_AggregatedVec(benchmark::State& state) {
   state.counters["modeled_cycles_per_op"] =
       ctx.account.total() / static_cast<double>(state.iterations());
 }
-BENCHMARK(BM_AggregatedVec)->Arg(8)->Arg(64);
+BENCHMARK(BM_AggregatedVec)
+    ->ArgNames({"batch", "hashed"})
+    ->ArgsProduct({{8, 64}, {0, 1}});
 
 }  // namespace
 

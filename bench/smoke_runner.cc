@@ -261,6 +261,7 @@ int main(int argc, char** argv) {
       "fig18_huge_swap",
       "fig19_plan_optimizer",
       "fig20_fleet_arbiter",
+      "fig21_translation_backends",
       "tab02_config",
       "tab03_cache_dtlb",
       "ablation_minor_copy",

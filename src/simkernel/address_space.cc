@@ -3,9 +3,15 @@
 
 #include <cstring>
 
+#include "simkernel/page_table.h"
 #include "support/align.h"
 
 namespace svagc::sim {
+
+PageTable& AddressSpace::page_table() {
+  SVAGC_CHECK(table_->backend() == TranslationBackend::kRadix);
+  return static_cast<PageTable&>(*table_);
+}
 
 AddressSpace::~AddressSpace() {
   // Frames are owned by the shared PhysicalMemory; release what we mapped.
@@ -21,7 +27,7 @@ void AddressSpace::MapRange(vaddr_t vaddr, std::uint64_t bytes) {
   const std::uint64_t pages = bytes >> kPageShift;
   const std::uint64_t vpn0 = vaddr >> kPageShift;
   for (std::uint64_t i = 0; i < pages; ++i) {
-    table_.Map(vpn0 + i, phys_.AllocFrame());
+    table_->Map(vpn0 + i, phys_.AllocFrame());
   }
 }
 
@@ -31,8 +37,8 @@ void AddressSpace::MapRangeHuge(vaddr_t vaddr, std::uint64_t bytes) {
   const std::uint64_t units = bytes >> kHugePageShift;
   const std::uint64_t vpn0 = vaddr >> kPageShift;
   for (std::uint64_t u = 0; u < units; ++u) {
-    table_.MapHuge(vpn0 + u * kPagesPerHuge,
-                   phys_.AllocContiguous(kPagesPerHuge));
+    table_->MapHuge(vpn0 + u * kPagesPerHuge,
+                    phys_.AllocContiguous(kPagesPerHuge));
   }
 }
 
@@ -46,14 +52,14 @@ void AddressSpace::UnmapRange(vaddr_t vaddr, std::uint64_t bytes) {
     // A whole huge-mapped unit inside the range comes out at PMD
     // granularity; everything else (split units, partial coverage) is 4 KiB.
     if ((vpn & kIndexMask) == 0 && pages - i >= kPagesPerHuge &&
-        table_.LookupHuge(vpn).has_value()) {
-      const frame_t base = table_.UnmapHuge(vpn);
+        table_->LookupHuge(vpn).has_value()) {
+      const frame_t base = table_->UnmapHuge(vpn);
       for (std::uint64_t f = 0; f < kPagesPerHuge; ++f) {
         phys_.FreeFrame(base + f);
       }
       i += kPagesPerHuge;
     } else {
-      phys_.FreeFrame(table_.Unmap(vpn));
+      phys_.FreeFrame(table_->Unmap(vpn));
       ++i;
     }
   }
@@ -70,12 +76,12 @@ std::byte* AddressSpace::HwPtr(CpuContext& ctx, vaddr_t vaddr) {
     frame = result.frame;
     // A hit that disagrees with the page table means a TLB shootdown was
     // skipped where it was required — the bug class SwapVA must avoid.
-    SVAGC_DCHECK(table_.Lookup(vpn).has_value() &&
-                 *table_.Lookup(vpn) == frame);
+    SVAGC_DCHECK(table_->Lookup(vpn).has_value() &&
+                 *table_->Lookup(vpn) == frame);
   } else {
-    PageTable::HugeTranslation huge;
+    Translation::HugeTranslation huge;
     const auto walked =
-        table_.HardwareWalk(vpn, ctx.account, machine_.cost(), &huge);
+        table_->HardwareWalk(vpn, ctx.account, machine_.cost(), &huge);
     SVAGC_CHECK(walked.has_value());
     frame = *walked;
     if (huge.huge) {
@@ -89,7 +95,7 @@ std::byte* AddressSpace::HwPtr(CpuContext& ctx, vaddr_t vaddr) {
 }
 
 std::byte* AddressSpace::RawPtr(vaddr_t vaddr) const {
-  const auto frame = table_.Lookup(vaddr >> kPageShift);
+  const auto frame = table_->Lookup(vaddr >> kPageShift);
   SVAGC_CHECK(frame.has_value());
   return const_cast<PhysicalMemory&>(phys_).FrameData(*frame) +
          (vaddr & (kPageSize - 1));

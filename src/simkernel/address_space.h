@@ -1,23 +1,32 @@
-// A process address space: page table + frames, with TLB-accounted and raw
-// translation paths plus page-safe bulk copy (the GC's memmove).
+// A process address space: translation structure + frames, with
+// TLB-accounted and raw translation paths plus page-safe bulk copy (the
+// GC's memmove). The translation backend (radix vs hashed) comes from the
+// machine's configuration.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 
 #include "simkernel/config.h"
 #include "simkernel/machine.h"
-#include "simkernel/page_table.h"
 #include "simkernel/phys_mem.h"
 #include "simkernel/trace.h"
+#include "simkernel/translation.h"
 #include "support/check.h"
 
 namespace svagc::sim {
 
+class PageTable;
+
 class AddressSpace {
  public:
   AddressSpace(Machine& machine, PhysicalMemory& phys)
-      : machine_(machine), phys_(phys), asid_(machine.NextAsid()) {}
+      : machine_(machine),
+        phys_(phys),
+        asid_(machine.NextAsid()),
+        table_(MakeTranslation(machine.translation_backend(), asid_,
+                               &machine.metrics())) {}
 
   AddressSpace(const AddressSpace&) = delete;
   AddressSpace& operator=(const AddressSpace&) = delete;
@@ -25,7 +34,11 @@ class AddressSpace {
 
   Machine& machine() { return machine_; }
   PhysicalMemory& phys() { return phys_; }
-  PageTable& page_table() { return table_; }
+  Translation& translation() { return *table_; }
+  const Translation& translation() const { return *table_; }
+  // Radix-only access for callers that need the concrete tree (legacy tests,
+  // PMD introspection); aborts under any other backend.
+  PageTable& page_table();
   std::uint64_t asid() const { return asid_; }
 
   // Eagerly maps [vaddr, vaddr+bytes), allocating fresh frames. vaddr and
@@ -38,7 +51,7 @@ class AddressSpace {
   // are unmapped at PMD granularity, split units page-by-page.
   void UnmapRange(vaddr_t vaddr, std::uint64_t bytes);
   bool IsMapped(vaddr_t vaddr) const {
-    return table_.Lookup(vaddr >> kPageShift).has_value();
+    return table_->Lookup(vaddr >> kPageShift).has_value();
   }
 
   // TLB-accounted translation: models what the hardware does on the given
@@ -103,8 +116,8 @@ class AddressSpace {
  private:
   Machine& machine_;
   PhysicalMemory& phys_;
-  PageTable table_;
-  const std::uint64_t asid_;
+  const std::uint64_t asid_;  // before table_: the hashed backend seeds on it
+  std::unique_ptr<Translation> table_;
   MemTraceSink* trace_ = nullptr;
 };
 

@@ -57,6 +57,11 @@ const CostProfile& ProfileXeonGold6130() {
       .copy_per_byte_dram = 0.175,
       .llc_bytes = 22.0 * 1024 * 1024,
       .saturation_streams = 4.0,
+      // Hashed backend: a chain hop is one dependent cache-line load (like a
+      // directory access); the SW-TLB trap is a lightweight exception, ~1.6x
+      // the hardware walker's refill.
+      .hash_probe = 5,
+      .swtlb_fill = 110,
   };
   return profile;
 }
@@ -83,6 +88,8 @@ const CostProfile& ProfileXeonGold6240() {
       .copy_per_byte_dram = 0.190,
       .llc_bytes = 25.0 * 1024 * 1024,
       .saturation_streams = 4.0,
+      .hash_probe = 6,
+      .swtlb_fill = 125,
   };
   return profile;
 }
@@ -108,6 +115,8 @@ const CostProfile& ProfileCorei5_7600() {
       .copy_per_byte_dram = 0.310,
       .llc_bytes = 6.0 * 1024 * 1024,
       .saturation_streams = 2.0,
+      .hash_probe = 6,
+      .swtlb_fill = 150,
   };
   return profile;
 }

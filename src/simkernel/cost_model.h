@@ -97,6 +97,11 @@ struct CostProfile {
   // per-context copy cost scales by max(1, k / saturation_streams).
   double saturation_streams;
 
+  // Hashed-translation backend (appended so the designated initializers of
+  // the radix-era fields stay valid):
+  double hash_probe;   // one bucket-chain node inspection
+  double swtlb_fill;   // software-TLB miss trap entry/exit (excl. probes)
+
   double CopyCyclesPerByte(std::uint64_t bytes) const {
     return static_cast<double>(bytes) <= llc_bytes ? copy_per_byte_cached
                                                    : copy_per_byte_dram;

@@ -1,0 +1,138 @@
+// Inverted/hashed page table with a software-TLB fill path.
+//
+// Instead of a radix tree, translations live in chained hash buckets keyed
+// on the (asid-seeded) vpn — the xv6-style inverted-page-table design. Two
+// bucket classes mirror the radix backend's huge-entry duality:
+//
+//   * page class — one node per 4 KiB mapping, keyed on the vpn
+//   * huge class — one node per 2 MiB unit, keyed on vpn >> kLevelBits,
+//     whose Pte carries the unit's base frame (512-page-reach entries)
+//
+// SwapVA becomes O(1): resolving a leaf is a bucket probe (charged per node
+// hop at cost.hash_probe), and the exchange rewrites the two nodes' Pte
+// words in place — no directory walk, no PMD cache, no per-level charge.
+// The TLB-refill path models a software fill handler (cost.swtlb_fill trap
+// plus the probes), since a hashed table has no hardware walker.
+//
+// Concurrency follows the split-PTL discipline with lock striping: every
+// bucket maps to one of kLockStripes spinlocks (by bucket index, so chain
+// neighbors always agree on their lock). Chain mutations — map-time inserts
+// and the THP-style huge split — and probes take the stripe lock; PTE value
+// exchanges are guarded by the stripe locks the swap paths acquire through
+// OrderLeafLocks. Nodes are heap-stable: a returned Pte* stays valid across
+// concurrent inserts, and a split retires the huge node to a free-at-
+// destruction list instead of deleting it mid-phase.
+//
+// Buckets resize only at map time (mmap_lock semantics). Sizing counts a
+// huge unit as its full 512-page reach, so a later split never degrades the
+// load factor it was provisioned for.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "simkernel/config.h"
+#include "simkernel/cost_model.h"
+#include "simkernel/translation.h"
+#include "support/spin_lock.h"
+
+namespace svagc::sim {
+
+class HashedPageTable final : public Translation {
+ public:
+  explicit HashedPageTable(std::uint64_t asid = 0,
+                           telemetry::MetricsRegistry* metrics = nullptr);
+  ~HashedPageTable() override;
+
+  TranslationBackend backend() const override {
+    return TranslationBackend::kHashed;
+  }
+
+  void Map(std::uint64_t vpn, frame_t frame) override;
+  frame_t Unmap(std::uint64_t vpn) override;
+  void MapHuge(std::uint64_t vpn, frame_t base_frame) override;
+  frame_t UnmapHuge(std::uint64_t vpn) override;
+  std::optional<frame_t> LookupHuge(std::uint64_t vpn) const override;
+  std::optional<frame_t> Lookup(std::uint64_t vpn) const override;
+  std::uint64_t mapped_pages() const override { return mapped_pages_; }
+
+  std::optional<frame_t> HardwareWalk(std::uint64_t vpn, CycleAccount& acct,
+                                      const CostProfile& cost,
+                                      HugeTranslation* huge = nullptr) override;
+
+  PteRef LeafForPteSwap(std::uint64_t vpn, CycleAccount& acct,
+                        const CostProfile& cost, PmdCache* cache) override;
+
+  bool CanExchangeUnits(std::uint64_t unit_vpn_a, std::uint64_t unit_vpn_b,
+                        std::uint64_t units) const override;
+  void ExchangeUnits(std::uint64_t unit_vpn_a, std::uint64_t unit_vpn_b,
+                     CycleAccount& acct, const CostProfile& cost,
+                     PmdCache* cache_a, PmdCache* cache_b) override;
+  Pte* HugeEntryForSwap(std::uint64_t unit_vpn, CycleAccount& acct,
+                        const CostProfile& cost, PmdCache* cache) override;
+
+  std::uint64_t CountAliasedUnits() const override;
+  std::uint64_t CountHugeLeaves() const override;
+
+  // Introspection for tests and benches.
+  std::uint64_t page_bucket_count() const { return page_buckets_.size(); }
+  std::uint64_t huge_bucket_count() const { return huge_buckets_.size(); }
+
+ private:
+  struct Node {
+    std::uint64_t key;  // vpn (page class) or unit = vpn >> kLevelBits (huge)
+    Pte pte;
+    Node* next;
+  };
+
+  // Stripe count is independent of the bucket count, so map-time resizes
+  // never migrate lock ownership; power of two for mask indexing.
+  static constexpr std::size_t kLockStripes = 512;
+  static constexpr std::size_t kInitialBuckets = 256;
+
+  std::uint64_t HashKey(std::uint64_t key) const;
+  SpinLock& StripeFor(std::size_t bucket) const {
+    return locks_[bucket & (kLockStripes - 1)];
+  }
+
+  // Chain probe charging cost.hash_probe per node inspected (min 1: the
+  // bucket-head load) and feeding kernel.translation.probes.
+  Node* FindCosted(const std::vector<Node*>& buckets, std::uint64_t key,
+                   CycleAccount& acct, const CostProfile& cost);
+  // Uncosted probe for lookups/verification.
+  Node* Find(const std::vector<Node*>& buckets, std::uint64_t key) const;
+
+  Node* Insert(std::vector<Node*>& buckets, std::uint64_t key, Pte pte);
+  // Unlinks and returns the node (caller owns deletion or retirement).
+  Node* Remove(std::vector<Node*>& buckets, std::uint64_t key);
+
+  // Map-time resize toward load factor <= 0.75 over `entries`.
+  void GrowToFit(std::vector<Node*>& buckets, std::uint64_t entries);
+
+  // THP-style demotion: inserts the unit's 512 page nodes, retires the huge
+  // node. Returns the fresh page node for `want_vpn`. Uncosted — the kernel
+  // charges the entry writes, exactly as for the radix split.
+  Node* SplitHugeNode(Node* huge_node, std::uint64_t want_vpn);
+
+  const std::uint64_t seed_;
+  std::vector<Node*> page_buckets_;
+  std::vector<Node*> huge_buckets_;
+  mutable std::array<SpinLock, kLockStripes> locks_;
+  std::uint64_t mapped_pages_ = 0;  // huge units count their full reach
+  std::uint64_t page_nodes_ = 0;
+  std::uint64_t huge_nodes_ = 0;
+  // Serializes huge-leaf demotions: two swappers hitting pages of the same
+  // unit both miss the page class, and only one may run the split. Splits
+  // are rare (once per unit per phase at most), so a single lock — rather
+  // than nested stripe acquisition, which could self-deadlock since the
+  // page and huge classes share one stripe array — costs nothing.
+  SpinLock split_lock_;
+  // Split-removed huge nodes: concurrent swappers may still traverse the
+  // chain they came from, so they are freed at destruction, never mid-phase.
+  std::vector<Node*> retired_;
+};
+
+}  // namespace svagc::sim

@@ -2,8 +2,9 @@
 
 namespace svagc::sim {
 
-Machine::Machine(unsigned num_cores, const CostProfile& profile)
-    : num_cores_(num_cores), profile_(profile) {
+Machine::Machine(unsigned num_cores, const CostProfile& profile,
+                 TranslationBackend translation)
+    : num_cores_(num_cores), profile_(profile), translation_(translation) {
   SVAGC_CHECK(num_cores >= 1);
   tlbs_.reserve(num_cores);
   disturbance_.reserve(num_cores);

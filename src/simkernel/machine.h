@@ -17,6 +17,7 @@
 
 #include "simkernel/cost_model.h"
 #include "simkernel/tlb.h"
+#include "simkernel/translation.h"
 #include "support/check.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace_recorder.h"
@@ -44,10 +45,14 @@ struct CpuContext {
 
 class Machine {
  public:
-  explicit Machine(unsigned num_cores, const CostProfile& profile);
+  explicit Machine(
+      unsigned num_cores, const CostProfile& profile,
+      TranslationBackend translation = TranslationBackend::kRadix);
 
   unsigned num_cores() const { return num_cores_; }
   const CostProfile& cost() const { return profile_; }
+  // Translation structure every AddressSpace on this machine instantiates.
+  TranslationBackend translation_backend() const { return translation_; }
 
   Tlb& tlb(unsigned core_id) {
     SVAGC_DCHECK(core_id < num_cores_);
@@ -122,6 +127,7 @@ class Machine {
  private:
   const unsigned num_cores_;
   const CostProfile& profile_;
+  const TranslationBackend translation_;
   std::vector<std::unique_ptr<Tlb>> tlbs_;
   std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> disturbance_;
   std::atomic<std::uint64_t> ipis_sent_{0};

@@ -13,7 +13,8 @@ std::uint64_t PteIndex(std::uint64_t vpn) { return Index(vpn, 0); }
 
 }  // namespace
 
-PageTable::PageTable() : pgd_(std::make_unique<PgdTable>()) {}
+PageTable::PageTable(telemetry::MetricsRegistry* metrics)
+    : Translation(metrics), pgd_(std::make_unique<PgdTable>()) {}
 PageTable::~PageTable() = default;
 
 PmdEntry* PageTable::ResolvePmdEntry(std::uint64_t vpn, bool create) const {
@@ -120,6 +121,7 @@ PmdEntry* PageTable::WalkToPmdEntry(std::uint64_t vpn, CycleAccount& acct,
   // pgd_offset / p4d_offset / pud_offset / pmd_offset: four directory
   // memory accesses.
   acct.Charge(CostKind::kPageWalk, 4 * cost.pagetable_access);
+  ctr_walks_->Add();
   PmdEntry* entry = ResolvePmdEntry(vpn, /*create=*/false);
   SVAGC_CHECK(entry != nullptr);
   if (cache != nullptr) {
@@ -171,8 +173,9 @@ Pte* PageTable::GetPteRaw(std::uint64_t vpn) const {
 std::optional<frame_t> PageTable::HardwareWalk(std::uint64_t vpn,
                                                CycleAccount& acct,
                                                const CostProfile& cost,
-                                               HugeTranslation* huge) const {
+                                               HugeTranslation* huge) {
   acct.Charge(CostKind::kTlbRefill, cost.tlb_refill);
+  ctr_walks_->Add();
   const PmdEntry* entry = ResolvePmdEntry(vpn, /*create=*/false);
   if (entry == nullptr) return std::nullopt;
   if (entry->huge.present()) {
@@ -186,6 +189,62 @@ std::optional<frame_t> PageTable::HardwareWalk(std::uint64_t vpn,
   const Pte pte = entry->table->entries[PteIndex(vpn)];
   if (!pte.present()) return std::nullopt;
   return pte.frame();
+}
+
+Translation::PteRef PageTable::LeafForPteSwap(std::uint64_t vpn,
+                                              CycleAccount& acct,
+                                              const CostProfile& cost,
+                                              PmdCache* cache) {
+  PmdEntry* entry = WalkToPmdEntry(vpn, acct, cost, cache);
+  PteRef ref;
+  // The demotion check and the split run under one lock: two swappers
+  // resolving pages of the same unit must not both split the leaf (the
+  // loser reuses the winner's PteTable, and only the winner reports
+  // split_huge, so the kernel charges the 512 entry writes once). The THP
+  // split: the kernel charges those writes after return, which keeps the
+  // charge order (walk, then split) of the pre-interface code.
+  split_lock_.lock();
+  if (entry->huge.present()) {
+    SplitHugeEntry(*entry);
+    ref.split_huge = true;
+  }
+  SVAGC_CHECK(entry->table != nullptr);
+  PteTable* leaf = entry->table.get();
+  split_lock_.unlock();
+  ref.slot = &leaf->entries[PteIndex(vpn)];
+  ref.lock = &leaf->lock;
+  return ref;
+}
+
+bool PageTable::CanExchangeUnits(std::uint64_t unit_vpn_a,
+                                 std::uint64_t unit_vpn_b,
+                                 std::uint64_t units) const {
+  (void)unit_vpn_a;
+  (void)unit_vpn_b;
+  (void)units;
+  return true;
+}
+
+void PageTable::ExchangeUnits(std::uint64_t unit_vpn_a,
+                              std::uint64_t unit_vpn_b, CycleAccount& acct,
+                              const CostProfile& cost, PmdCache* cache_a,
+                              PmdCache* cache_b) {
+  PmdEntry* ea = WalkToPmdEntry(unit_vpn_a, acct, cost, cache_a);
+  PmdEntry* eb = WalkToPmdEntry(unit_vpn_b, acct, cost, cache_b);
+  // The whole PMD slot exchanges: leaf-table pointer and huge leaf together,
+  // whatever mix the two units carry. PteTable objects (locks included)
+  // travel with their entries, so concurrent PTE locking stays coherent.
+  std::swap(ea->table, eb->table);
+  std::swap(ea->huge, eb->huge);
+}
+
+Pte* PageTable::HugeEntryForSwap(std::uint64_t unit_vpn, CycleAccount& acct,
+                                 const CostProfile& cost, PmdCache* cache) {
+  PmdEntry* entry = WalkToPmdEntry(unit_vpn, acct, cost, cache);
+  // All-huge pre-scan guarantees this; with no PteTable present, rotating
+  // only the huge values is the whole exchange.
+  SVAGC_CHECK(entry->huge.present() && entry->table == nullptr);
+  return &entry->huge;
 }
 
 namespace {

@@ -1,4 +1,5 @@
-// Four-level x86-64-style page table with Linux-like split PTE locks.
+// Four-level x86-64-style page table with Linux-like split PTE locks — the
+// radix Translation backend.
 //
 // The radix tree is real: walks touch real directory memory, so PMD caching
 // eliminates real work in addition to modeled cycles. Leaf tables carry one
@@ -19,25 +20,11 @@
 
 #include "simkernel/config.h"
 #include "simkernel/cost_model.h"
+#include "simkernel/translation.h"
 #include "support/check.h"
 #include "support/spin_lock.h"
 
 namespace svagc::sim {
-
-// A PTE packs (frame << 1) | present. Frame numbers in this simulation are
-// indices into PhysicalMemory, not physical addresses, so no flag bits
-// beyond `present` are needed.
-struct Pte {
-  std::uint64_t value = 0;
-
-  bool present() const { return value & 1; }
-  frame_t frame() const {
-    SVAGC_DCHECK(present());
-    return value >> 1;
-  }
-  static Pte Make(frame_t frame) { return Pte{(frame << 1) | 1}; }
-  static Pte Empty() { return Pte{0}; }
-};
 
 struct PteTable {
   SpinLock lock;  // split page-table lock, one per leaf table
@@ -67,59 +54,34 @@ struct PgdTable {
   std::array<std::unique_ptr<P4dTable>, kEntriesPerTable> entries;
 };
 
-// Caches the PMD entry resolved for the previous page so sequential swaps
-// skip the PGD->P4D->PUD->PMD part of the walk (paper §III-B, Fig. 7). The
-// entry pointer is stable (it lives inside the PmdTable array), so the cache
-// survives huge-leaf splits that happen under the same tag.
-struct PmdCache {
-  std::uint64_t tag = ~0ULL;  // vpn >> kLevelBits (2 MiB granule)
-  PmdEntry* entry = nullptr;
-
-  // Effectiveness tally (a hit saves four directory accesses); WalkToLeaf
-  // bumps these and the kernel drains them into "pmd.hits"/"pmd.misses".
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
-
-  void Invalidate() {
-    tag = ~0ULL;
-    entry = nullptr;
-  }
-};
-
-class PageTable {
+class PageTable final : public Translation {
  public:
-  PageTable();
-  PageTable(const PageTable&) = delete;
-  PageTable& operator=(const PageTable&) = delete;
-  ~PageTable();
+  explicit PageTable(telemetry::MetricsRegistry* metrics = nullptr);
+  ~PageTable() override;
+
+  TranslationBackend backend() const override {
+    return TranslationBackend::kRadix;
+  }
 
   // Establishes vpn -> frame. Creates intermediate tables on demand.
-  // Not thread-safe against other Map/Unmap calls (mapping happens at
-  // address-space setup, like mmap under mmap_lock).
-  void Map(std::uint64_t vpn, frame_t frame);
+  void Map(std::uint64_t vpn, frame_t frame) override;
 
   // Removes the mapping; returns the previously mapped frame.
-  frame_t Unmap(std::uint64_t vpn);
+  frame_t Unmap(std::uint64_t vpn) override;
 
-  // Establishes a 2 MiB huge leaf: vpn must be kPagesPerHuge-aligned and
-  // base_frame the first of kPagesPerHuge contiguous frames. The unit must
-  // have neither a PteTable nor an existing huge leaf.
-  void MapHuge(std::uint64_t vpn, frame_t base_frame);
+  // Establishes a 2 MiB huge leaf. The unit must have neither a PteTable nor
+  // an existing huge leaf.
+  void MapHuge(std::uint64_t vpn, frame_t base_frame) override;
 
-  // Removes a huge leaf (the unit must currently be huge-mapped); returns
-  // the base frame. Units that have since been split must be torn down with
-  // per-page Unmap instead.
-  frame_t UnmapHuge(std::uint64_t vpn);
+  frame_t UnmapHuge(std::uint64_t vpn) override;
 
-  // Base frame of the huge leaf covering vpn, or nullopt when the unit is
-  // not huge-mapped (unpopulated or split to PTEs).
-  std::optional<frame_t> LookupHuge(std::uint64_t vpn) const;
+  std::optional<frame_t> LookupHuge(std::uint64_t vpn) const override;
 
-  // Read-only lookup used by the TLB-refill path. Returns nullopt when the
-  // page is not present. Resolves through both PteTable leaves and huge
-  // leaves. Thread-safe against concurrent PTE *value* updates (the swap
-  // paths) because leaf tables are never deallocated while mapped.
-  std::optional<frame_t> Lookup(std::uint64_t vpn) const;
+  // Read-only lookup used by the TLB-refill path. Resolves through both
+  // PteTable leaves and huge leaves.
+  std::optional<frame_t> Lookup(std::uint64_t vpn) const override;
+
+  std::uint64_t mapped_pages() const override { return mapped_pages_; }
 
   // Algorithm 1's GETPTE: walks the tree charging modeled cycles, locks the
   // leaf table and returns the PTE slot. `cache`, when non-null, implements
@@ -128,8 +90,8 @@ class PageTable {
                     const CostProfile& cost, PmdCache* cache);
 
   // Directory walk only (charging costs, honoring the PMD cache); returns
-  // the leaf table without taking its lock. SwapVA uses this to lock the two
-  // PTEs of a pair in a deadlock-free (address-ordered) fashion, the
+  // the leaf table without taking its lock. SwapVA locks the two PTEs of a
+  // pair deadlock-free through OrderLeafLocks (translation.h), the
   // equivalent of Linux checking ptl1 == ptl2 before double-locking.
   // Aborts if the unit is huge-mapped — PTE-granularity callers must split
   // first (see SplitHugeEntry).
@@ -153,29 +115,36 @@ class PageTable {
   // nullptr when the unit has no PteTable (unpopulated or huge-mapped).
   Pte* GetPteRaw(std::uint64_t vpn) const;
 
-  // Result detail for HardwareWalk: set when the translation resolved
-  // through a huge leaf, so the TLB can install a 2 MiB entry.
-  struct HugeTranslation {
-    bool huge = false;
-    frame_t unit_base_frame = kInvalidFrame;
-  };
-
   // Walks the tree without locking, charging only walk costs — models the
   // hardware walker on a TLB miss. `huge`, when non-null, reports whether
   // the translation came from a huge leaf.
   std::optional<frame_t> HardwareWalk(std::uint64_t vpn, CycleAccount& acct,
                                       const CostProfile& cost,
-                                      HugeTranslation* huge = nullptr) const;
+                                      HugeTranslation* huge = nullptr) override;
 
-  std::uint64_t mapped_pages() const { return mapped_pages_; }
+  PteRef LeafForPteSwap(std::uint64_t vpn, CycleAccount& acct,
+                        const CostProfile& cost, PmdCache* cache) override;
+
+  // PMD slots exchange wholesale no matter how the unit is populated (table
+  // pointer and huge leaf swap together), so the fast path never declines.
+  bool CanExchangeUnits(std::uint64_t unit_vpn_a, std::uint64_t unit_vpn_b,
+                        std::uint64_t units) const override;
+  void ExchangeUnits(std::uint64_t unit_vpn_a, std::uint64_t unit_vpn_b,
+                     CycleAccount& acct, const CostProfile& cost,
+                     PmdCache* cache_a, PmdCache* cache_b) override;
+  Pte* HugeEntryForSwap(std::uint64_t unit_vpn, CycleAccount& acct,
+                        const CostProfile& cost, PmdCache* cache) override;
 
   // Verification walks over every populated PMD entry (uncosted).
   // CountAliasedPmdEntries returns the number of entries carrying BOTH a
   // PteTable and a huge leaf — any non-zero count is the aliasing corruption
   // the CheckHugeMappingConsistency invariant exists to catch.
   std::uint64_t CountAliasedPmdEntries() const;
+  std::uint64_t CountAliasedUnits() const override {
+    return CountAliasedPmdEntries();
+  }
   // Number of present 2 MiB huge leaves.
-  std::uint64_t CountHugeLeaves() const;
+  std::uint64_t CountHugeLeaves() const override;
 
  private:
   PmdEntry* ResolvePmdEntry(std::uint64_t vpn, bool create) const;
@@ -183,6 +152,10 @@ class PageTable {
 
   std::unique_ptr<PgdTable> pgd_;
   std::uint64_t mapped_pages_ = 0;
+  // Serializes THP demotions in LeafForPteSwap: two swappers hitting pages
+  // of the same huge unit race to split it, and the PMD entry has no lock of
+  // its own (the split PTL lives in the PteTable the split creates).
+  SpinLock split_lock_;
 };
 
 }  // namespace svagc::sim

@@ -17,14 +17,6 @@ std::uint64_t FindSwapPlace(std::uint64_t i, std::uint64_t delta,
   return i < delta ? i + pages : i - delta;
 }
 
-// Exchanges the full contents of two PMD slots — table pointer and huge
-// leaf alike. One entry write remaps 2 MiB regardless of how the unit is
-// populated; involutive, so the fault path can undo it by re-applying.
-void ExchangePmdEntries(PmdEntry& ea, PmdEntry& eb) {
-  std::swap(ea.table, eb.table);
-  std::swap(ea.huge.value, eb.huge.value);
-}
-
 }  // namespace
 
 SysStatus Kernel::ValidatePinned(CpuContext& ctx, const SwapVaOptions& opts) {
@@ -176,30 +168,32 @@ void Kernel::SysUnpin(CpuContext& ctx) {
   ctx.pinned = false;
 }
 
-PteTable* Kernel::LeafForPteSwap(PageTable& table, std::uint64_t vpn,
-                                 CpuContext& ctx, PmdCache* cache) {
-  PmdEntry* entry =
-      table.WalkToPmdEntry(vpn, ctx.account, machine_.cost(), cache);
-  if (entry->huge.present()) {
-    // THP-style demotion: the unit loses its huge leaf and gains 512 PTEs,
-    // all of which are real entry writes.
+Translation::PteRef Kernel::LeafForPteSwap(Translation& table,
+                                           std::uint64_t vpn, CpuContext& ctx,
+                                           PmdCache* cache) {
+  Translation::PteRef ref =
+      table.LeafForPteSwap(vpn, ctx.account, machine_.cost(), cache);
+  if (ref.split_huge) {
+    // THP-style demotion: the unit loses its huge leaf and gains 512 leaf
+    // entries, all of which are real entry writes — charged identically
+    // whichever backend performed the split.
     ctx.account.Charge(CostKind::kPteUpdate,
                        kEntriesPerTable * machine_.cost().pte_update);
-    PageTable::SplitHugeEntry(*entry);
     pmd_splits_.fetch_add(1, std::memory_order_relaxed);
     ctr_pmd_splits_.Add();
   }
-  SVAGC_CHECK(entry->table != nullptr);
-  return entry->table.get();
+  SVAGC_CHECK(ref.slot != nullptr && ref.lock != nullptr);
+  return ref;
 }
 
 SysStatus Kernel::SwapDisjoint(AddressSpace& as, CpuContext& ctx, vaddr_t a,
                                vaddr_t b, std::uint64_t pages,
                                const SwapVaOptions& opts) {
-  PageTable& table = as.page_table();
+  Translation& table = as.translation();
   const CostProfile& cost = machine_.cost();
   // Two independent PMD caches: the source and destination streams each walk
-  // sequentially through their own 2 MiB regions (Fig. 7).
+  // sequentially through their own 2 MiB regions (Fig. 7). Backends without
+  // a directory walk ignore them.
   PmdCache cache_a, cache_b;
   PmdCache* pca = opts.pmd_caching ? &cache_a : nullptr;
   PmdCache* pcb = opts.pmd_caching ? &cache_b : nullptr;
@@ -207,36 +201,35 @@ SysStatus Kernel::SwapDisjoint(AddressSpace& as, CpuContext& ctx, vaddr_t a,
   const std::uint64_t vpn_a0 = a >> kPageShift;
   const std::uint64_t vpn_b0 = b >> kPageShift;
 
-  // PMD fast path: both ranges 2 MiB-aligned — exchange whole PMD entries
-  // for every fully covered unit (1 entry write per 2 MiB instead of 512),
-  // then fall through to the PTE loop for the sub-unit tail.
+  // Unit fast path: both ranges 2 MiB-aligned and the backend can relink
+  // whole units — exchange per-unit entries (1 entry write per 2 MiB instead
+  // of 512), then fall through to the PTE loop for the sub-unit tail. The
+  // radix backend always can (PMD slots swap wholesale); the hashed backend
+  // only when every covered unit is huge-class.
   std::uint64_t pmd_units = 0;
   if (opts.pmd_swapping && IsAligned(a, kHugePageSize) &&
-      IsAligned(b, kHugePageSize)) {
+      IsAligned(b, kHugePageSize) &&
+      table.CanExchangeUnits(vpn_a0, vpn_b0, pages / kPagesPerHuge)) {
     pmd_units = pages / kPagesPerHuge;
     for (std::uint64_t u = 0; u < pmd_units; ++u) {
-      PmdEntry* ea = table.WalkToPmdEntry(vpn_a0 + u * kPagesPerHuge,
-                                          ctx.account, cost, pca);
-      PmdEntry* eb = table.WalkToPmdEntry(vpn_b0 + u * kPagesPerHuge,
-                                          ctx.account, cost, pcb);
+      table.ExchangeUnits(vpn_a0 + u * kPagesPerHuge,
+                          vpn_b0 + u * kPagesPerHuge, ctx.account, cost, pca,
+                          pcb);
       // pmd_offset read on both sides, one lock, one entry-write exchange.
       ctx.account.Charge(CostKind::kPageWalk, 2 * cost.pte_access);
       ctx.account.Charge(CostKind::kPteLock, cost.pte_lock_pair);
-      ExchangePmdEntries(*ea, *eb);
       ctx.account.Charge(CostKind::kPteUpdate, cost.pte_update);
     }
     // Injection opportunity between the PMD-swap half and the PTE-fallback
     // half of a huge-range request.
     if (pmd_units > 0 && Inject(FaultPoint::kHugeSwapFault)) {
-      // PMD exchanges are involutions: re-applying them restores the
+      // Unit exchanges are involutions: re-applying them restores the
       // original mappings, making the faulted request all-or-nothing. The
       // undo writes are real entry writes and charged as such.
       for (std::uint64_t u = pmd_units; u-- > 0;) {
-        PmdEntry* ea = table.WalkToPmdEntry(vpn_a0 + u * kPagesPerHuge,
-                                            ctx.account, cost, pca);
-        PmdEntry* eb = table.WalkToPmdEntry(vpn_b0 + u * kPagesPerHuge,
-                                            ctx.account, cost, pcb);
-        ExchangePmdEntries(*ea, *eb);
+        table.ExchangeUnits(vpn_a0 + u * kPagesPerHuge,
+                            vpn_b0 + u * kPagesPerHuge, ctx.account, cost, pca,
+                            pcb);
         ctx.account.Charge(CostKind::kPteUpdate, cost.pte_update);
       }
       DrainPmdTally(pca);
@@ -249,31 +242,23 @@ SysStatus Kernel::SwapDisjoint(AddressSpace& as, CpuContext& ctx, vaddr_t a,
   for (std::uint64_t i = first_page; i < pages; ++i) {
     const std::uint64_t vpn_a = vpn_a0 + i;
     const std::uint64_t vpn_b = vpn_b0 + i;
-    PteTable* leaf_a = LeafForPteSwap(table, vpn_a, ctx, pca);
-    PteTable* leaf_b = LeafForPteSwap(table, vpn_b, ctx, pcb);
+    const Translation::PteRef ref_a = LeafForPteSwap(table, vpn_a, ctx, pca);
+    const Translation::PteRef ref_b = LeafForPteSwap(table, vpn_b, ctx, pcb);
     // pte_offset_map_lock on both PTEs; same-leaf pairs share one split-PTL
     // and cross-leaf pairs are locked in address order (deadlock-free
-    // against concurrent GC workers).
+    // against concurrent GC workers — OrderLeafLocks asserts the ordering).
     ctx.account.Charge(CostKind::kPageWalk, 2 * cost.pte_access);
     ctx.account.Charge(CostKind::kPteLock, 2 * cost.pte_lock_pair);
-    SpinLock* first = &leaf_a->lock;
-    SpinLock* second = &leaf_b->lock;
-    if (first == second) {
-      second = nullptr;
-    } else if (second < first) {
-      std::swap(first, second);
-    }
-    first->lock();
-    if (second != nullptr) second->lock();
+    const OrderedLockPair locks = OrderLeafLocks(ref_a.lock, ref_b.lock);
+    locks.first->lock();
+    if (locks.second != nullptr) locks.second->lock();
 
-    Pte& pte_a = leaf_a->entries[vpn_a & kIndexMask];
-    Pte& pte_b = leaf_b->entries[vpn_b & kIndexMask];
-    SVAGC_CHECK(pte_a.present() && pte_b.present());
-    std::swap(pte_a.value, pte_b.value);
+    SVAGC_CHECK(ref_a.slot->present() && ref_b.slot->present());
+    std::swap(ref_a.slot->value, ref_b.slot->value);
     ctx.account.Charge(CostKind::kPteUpdate, cost.pte_update);
 
-    if (second != nullptr) second->unlock();
-    first->unlock();
+    if (locks.second != nullptr) locks.second->unlock();
+    locks.first->unlock();
   }
   if (opts.scrub_source) {
     // Zero the frames now mapped under `a` (the relinquished destination
@@ -299,7 +284,7 @@ SysStatus Kernel::SwapDisjoint(AddressSpace& as, CpuContext& ctx, vaddr_t a,
 void Kernel::SwapOverlap(AddressSpace& as, CpuContext& ctx, vaddr_t lo,
                          vaddr_t hi, std::uint64_t pages,
                          const SwapVaOptions& opts) {
-  PageTable& table = as.page_table();
+  Translation& table = as.translation();
   const CostProfile& cost = machine_.cost();
   Tlb& local_tlb = machine_.tlb(ctx.core_id);
   PmdCache cache;
@@ -325,9 +310,13 @@ void Kernel::SwapOverlap(AddressSpace& as, CpuContext& ctx, vaddr_t lo,
     }
     if (all_huge) {
       const std::uint64_t cycles = std::gcd(delta_u, units);
-      auto unit_entry = [&](std::uint64_t u) -> PmdEntry* {
-        PmdEntry* entry = table.WalkToPmdEntry(vpn0 + u * kPagesPerHuge,
-                                               ctx.account, cost, pc);
+      // All-huge means no 4 KiB granularity exists anywhere in the span, so
+      // rotating the huge leaf values IS the whole exchange (the radix
+      // backend's PteTable slots are all null; the hashed backend's page
+      // class holds no nodes for these units).
+      auto unit_entry = [&](std::uint64_t u) -> Pte* {
+        Pte* entry = table.HugeEntryForSwap(vpn0 + u * kPagesPerHuge,
+                                            ctx.account, cost, pc);
         ctx.account.Charge(CostKind::kPageWalk, cost.pte_access);
         return entry;
       };
@@ -336,22 +325,19 @@ void Kernel::SwapOverlap(AddressSpace& as, CpuContext& ctx, vaddr_t lo,
         local_tlb.FlushPage(as.asid(), vpn0 + u * kPagesPerHuge);
       };
       for (std::uint64_t cur = 0; cur < cycles; ++cur) {
-        PmdEntry* e_cur = unit_entry(cur);
-        PmdEntry temp{std::move(e_cur->table), e_cur->huge};
+        Pte* e_cur = unit_entry(cur);
+        Pte temp = *e_cur;
         std::uint64_t k = FindSwapPlace(cur, delta_u, units);
         while (k != cur) {
-          PmdEntry* e_k = unit_entry(k);
-          PmdEntry k_temp{std::move(e_k->table), e_k->huge};
-          e_k->table = std::move(temp.table);
-          e_k->huge = temp.huge;
+          Pte* e_k = unit_entry(k);
+          const Pte k_temp = *e_k;
+          *e_k = temp;
           ctx.account.Charge(CostKind::kPteUpdate, cost.pte_update);
           flush_unit(k);
-          temp.table = std::move(k_temp.table);
-          temp.huge = k_temp.huge;
+          temp = k_temp;
           k = FindSwapPlace(k, delta_u, units);
         }
-        e_cur->table = std::move(temp.table);
-        e_cur->huge = temp.huge;
+        *e_cur = temp;
         ctx.account.Charge(CostKind::kPteUpdate, cost.pte_update);
         flush_unit(cur);
       }
@@ -367,13 +353,13 @@ void Kernel::SwapOverlap(AddressSpace& as, CpuContext& ctx, vaddr_t lo,
   const std::uint64_t cycles = std::gcd(delta, pages);  // upCurIdx
 
   auto locked_pte_value = [&](std::uint64_t idx) -> Pte* {
-    PteTable* leaf = LeafForPteSwap(table, vpn0 + idx, ctx, pc);
+    const Translation::PteRef ref = LeafForPteSwap(table, vpn0 + idx, ctx, pc);
     // pte_offset_map_lock; single-writer phase, lock pairs as in Alg. 1.
     ctx.account.Charge(CostKind::kPageWalk, cost.pte_access);
     ctx.account.Charge(CostKind::kPteLock, cost.pte_lock_pair);
-    leaf->lock.lock();
-    leaf->lock.unlock();
-    return &leaf->entries[(vpn0 + idx) & kIndexMask];
+    ref.lock->lock();
+    ref.lock->unlock();
+    return ref.slot;
   };
   auto flush_page = [&](std::uint64_t idx) {
     ctx.account.Charge(CostKind::kTlbFlushPage, cost.tlb_flush_page);

@@ -198,10 +198,11 @@ class Kernel {
   void SwapOverlap(AddressSpace& as, CpuContext& ctx, vaddr_t lo, vaddr_t hi,
                    std::uint64_t pages, const SwapVaOptions& opts);
 
-  // Walks to the leaf table for a PTE-granularity swap, demoting a huge
-  // leaf first if one covers vpn (THP-style split, swapva.pmd_splits).
-  PteTable* LeafForPteSwap(PageTable& table, std::uint64_t vpn,
-                           CpuContext& ctx, PmdCache* cache);
+  // Resolves the leaf slot for a PTE-granularity swap through the backend,
+  // charging the 512 entry writes (and swapva.pmd_splits) when a covering
+  // huge leaf was demoted on the way (THP-style split).
+  Translation::PteRef LeafForPteSwap(Translation& table, std::uint64_t vpn,
+                                     CpuContext& ctx, PmdCache* cache);
 
   void ApplyEndOfCallFlush(AddressSpace& as, CpuContext& ctx,
                            const SwapVaOptions& opts);

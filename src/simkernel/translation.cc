@@ -1,0 +1,48 @@
+#include "simkernel/translation.h"
+
+#include "simkernel/hashed_page_table.h"
+#include "simkernel/page_table.h"
+
+namespace svagc::sim {
+
+const char* TranslationBackendName(TranslationBackend backend) {
+  switch (backend) {
+    case TranslationBackend::kRadix:
+      return "radix";
+    case TranslationBackend::kHashed:
+      return "hashed";
+  }
+  return "?";
+}
+
+Translation::Translation(telemetry::MetricsRegistry* metrics) {
+  if (metrics != nullptr) {
+    ctr_walks_ = &metrics->counter("kernel.translation.walks");
+    ctr_probes_ = &metrics->counter("kernel.translation.probes");
+    ctr_relinks_ = &metrics->counter("kernel.translation.relinks");
+    ctr_swtlb_fills_ = &metrics->counter("kernel.translation.swtlb_fills");
+  } else {
+    fallback_ = std::make_unique<FallbackCounters>();
+    ctr_walks_ = &fallback_->walks;
+    ctr_probes_ = &fallback_->probes;
+    ctr_relinks_ = &fallback_->relinks;
+    ctr_swtlb_fills_ = &fallback_->swtlb_fills;
+  }
+}
+
+Translation::~Translation() = default;
+
+std::unique_ptr<Translation> MakeTranslation(
+    TranslationBackend backend, std::uint64_t asid,
+    telemetry::MetricsRegistry* metrics) {
+  switch (backend) {
+    case TranslationBackend::kRadix:
+      return std::make_unique<PageTable>(metrics);
+    case TranslationBackend::kHashed:
+      return std::make_unique<HashedPageTable>(asid, metrics);
+  }
+  SVAGC_CHECK(false && "unknown translation backend");
+  return nullptr;
+}
+
+}  // namespace svagc::sim

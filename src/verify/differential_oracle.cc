@@ -296,7 +296,8 @@ OracleResult RunDifferentialOracle(const OracleConfig& config) {
                   salt_bytes,
               sim::kPageSize);
 
-  sim::Machine machine(config.machine_cores, sim::ProfileXeonGold6130());
+  sim::Machine machine(config.machine_cores, sim::ProfileXeonGold6130(),
+                       config.translation_backend);
   sim::Kernel kernel(machine);
   sim::PhysicalMemory phys(heap_bytes + (8ULL << 20));
 
@@ -345,6 +346,7 @@ OracleResult RunDifferentialOracle(const OracleConfig& config) {
   }
   result.invariants_swap = registry.RunAll(jvm);
   const HeapDigest swap_digest = DigestHeap(jvm);
+  result.swap_digest = swap_digest;
   const MovePrediction prediction =
       PredictMoveBytes(pre_digest, swap_digest, config);
   result.prediction_valid = prediction.valid;

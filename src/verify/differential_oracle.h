@@ -22,6 +22,7 @@
 
 #include "gc/plan_optimizer.h"
 #include "runtime/object.h"
+#include "simkernel/translation.h"
 #include "verify/invariant_registry.h"
 
 namespace svagc::rt {
@@ -75,6 +76,10 @@ struct OracleConfig {
   // (and enabling the kernel's PMD swapping in the swap arm). 0 = disabled.
   std::uint64_t huge_threshold_pages = 0;
 
+  // Translation backend for both arms' machines. The conformance sweep runs
+  // the oracle once per backend and compares swap-arm digests across runs.
+  sim::TranslationBackend translation_backend = sim::TranslationBackend::kRadix;
+
   // Compaction-plan optimizer, applied to BOTH arms (the compared cycle's
   // layout must be identical across arms; coalescing/elision change where
   // objects land, not whether the two movers agree). When any knob is on,
@@ -103,6 +108,10 @@ struct OracleConfig {
 struct OracleResult {
   bool match = false;
   std::string divergence;  // empty iff match
+
+  // The swap arm's post-GC digest, retained so cross-backend sweeps can
+  // CompareDigests between oracle runs.
+  HeapDigest swap_digest;
 
   // From the swap arm's digest/cycle, for assertions about coverage.
   std::uint64_t objects = 0;

@@ -8,7 +8,7 @@ namespace svagc::verify {
 rt::VerifyResult CheckTlbCoherence(rt::Jvm& jvm) {
   rt::VerifyResult result;
   sim::Machine& machine = jvm.machine();
-  sim::PageTable& table = jvm.address_space().page_table();
+  const sim::Translation& table = jvm.address_space().translation();
   const std::uint64_t asid = jvm.address_space().asid();
   for (unsigned core = 0; core < machine.num_cores(); ++core) {
     for (const sim::TlbSnapshotEntry& entry :
@@ -41,12 +41,12 @@ rt::VerifyResult CheckTlbCoherence(rt::Jvm& jvm) {
 rt::VerifyResult CheckHugeMappingConsistency(rt::Jvm& jvm) {
   rt::VerifyResult result;
   const std::uint64_t aliased =
-      jvm.address_space().page_table().CountAliasedPmdEntries();
+      jvm.address_space().translation().CountAliasedUnits();
   if (aliased != 0) {
     result.ok = false;
     result.error = Format(
-        "%llu PMD entr%s carry both a PteTable and a 2 MiB huge leaf",
-        (unsigned long long)aliased, aliased == 1 ? "y" : "ies");
+        "%llu 2 MiB unit%s carry both 4 KiB mappings and a huge leaf",
+        (unsigned long long)aliased, aliased == 1 ? "" : "s");
   }
   return result;
 }

@@ -231,7 +231,7 @@ TEST_F(FaultInjectionTest, HugeSwapFaultRollsBackPmdExchanges) {
   EXPECT_EQ(sim.kernel.pages_swapped(), 0u);
   EXPECT_EQ(sim.kernel.pmd_swaps(), 0u);
   EXPECT_EQ(sim.kernel.pte_swaps(), 0u);
-  EXPECT_EQ(as.page_table().CountAliasedPmdEntries(), 0u);
+  EXPECT_EQ(as.translation().CountAliasedUnits(), 0u);
 
   // Unarmed retry completes normally and books the counter identity.
   ASSERT_EQ(sim.kernel.SysSwapVa(as, ctx, base,
@@ -276,7 +276,7 @@ TEST_F(FaultInjectionTest, HugeSwapFaultMidVectorKeepsPrefixAtomicity) {
   for (const std::uint64_t u : {1ull, 2ull, 7ull, 8ull}) {
     EXPECT_EQ(as.ReadWord(unit(u)), 7000 + u) << u;
   }
-  EXPECT_EQ(as.page_table().CountAliasedPmdEntries(), 0u);
+  EXPECT_EQ(as.translation().CountAliasedUnits(), 0u);
 }
 
 // --- kForceUnpin: error-coded (kNotPinned) -----------------------------------

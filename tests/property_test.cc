@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "core/minor_copy.h"
+#include "simkernel/page_table.h"
 #include "simkernel/swapva.h"
 #include "support/rng.h"
 #include "tests/test_util.h"
@@ -402,7 +403,7 @@ TEST(SwapVaProperty, HugeSwapCounterIdentityAndSemantics) {
                   sim.kernel.pte_swaps(),
               sim.kernel.pages_swapped())
         << "step " << step;
-    ASSERT_EQ(as.page_table().CountAliasedPmdEntries(), 0u) << "step " << step;
+    ASSERT_EQ(as.translation().CountAliasedUnits(), 0u) << "step " << step;
   }
   for (std::uint64_t i = 0; i < kPages; ++i) {
     ASSERT_EQ(as.ReadWord(base + i * sim::kPageSize), reference[i]) << i;

@@ -1,9 +1,16 @@
 // Tests for the SwapVA system call: Algorithm 1 (disjoint PTE exchange),
 // Algorithm 2 (gcd-cycle overlap rotation), aggregation, the internal
 // optimizations, and the TLB-coherence policies.
+//
+// The whole suite is the translation-backend conformance suite: every case
+// runs once per backend (radix and hashed), asserting identical observable
+// semantics; the few cost assertions that are backend-specific branch on the
+// parameter.
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <string>
+#include <tuple>
 #include <vector>
 
 #include "simkernel/swapva.h"
@@ -14,7 +21,12 @@ namespace {
 
 constexpr vaddr_t kBase = 1ULL << 33;
 
-class SwapVaTest : public ::testing::Test {
+std::string BackendName(
+    const ::testing::TestParamInfo<TranslationBackend>& info) {
+  return TranslationBackendName(info.param);
+}
+
+class SwapVaTest : public ::testing::TestWithParam<TranslationBackend> {
  protected:
   SwapVaTest() { as_.MapRange(kBase, kSpanPages * kPageSize); }
 
@@ -36,7 +48,7 @@ class SwapVaTest : public ::testing::Test {
   }
   vaddr_t PageAddr(std::uint64_t index) { return kBase + index * kPageSize; }
 
-  Machine machine_{8, ProfileXeonGold6130()};
+  Machine machine_{8, ProfileXeonGold6130(), GetParam()};
   Kernel kernel_{machine_};
   PhysicalMemory phys_{(kSpanPages + 64) * kPageSize};
   AddressSpace as_{machine_, phys_};
@@ -44,9 +56,14 @@ class SwapVaTest : public ::testing::Test {
   SwapVaOptions opts_{};
 };
 
+INSTANTIATE_TEST_SUITE_P(Backends, SwapVaTest,
+                         ::testing::Values(TranslationBackend::kRadix,
+                                           TranslationBackend::kHashed),
+                         BackendName);
+
 // --- disjoint swaps (Algorithm 1) -------------------------------------------
 
-TEST_F(SwapVaTest, SwapsDisjointRanges) {
+TEST_P(SwapVaTest, SwapsDisjointRanges) {
   for (std::uint64_t i = 0; i < 4; ++i) StampPage(i, 0x1000 + i);
   for (std::uint64_t i = 0; i < 4; ++i) StampPage(100 + i, 0x2000 + i);
   kernel_.SysSwapVa(as_, ctx_, PageAddr(0), PageAddr(100), 4, opts_);
@@ -56,7 +73,7 @@ TEST_F(SwapVaTest, SwapsDisjointRanges) {
   }
 }
 
-TEST_F(SwapVaTest, SwapIsItsOwnInverse) {
+TEST_P(SwapVaTest, SwapIsItsOwnInverse) {
   StampPage(0, 1);
   StampPage(50, 2);
   kernel_.SysSwapVa(as_, ctx_, PageAddr(0), PageAddr(50), 1, opts_);
@@ -65,14 +82,14 @@ TEST_F(SwapVaTest, SwapIsItsOwnInverse) {
   EXPECT_TRUE(PageHasStamp(50, 2));
 }
 
-TEST_F(SwapVaTest, ZeroPagesAndSelfSwapAreNoOps) {
+TEST_P(SwapVaTest, ZeroPagesAndSelfSwapAreNoOps) {
   StampPage(0, 7);
   kernel_.SysSwapVa(as_, ctx_, PageAddr(0), PageAddr(10), 0, opts_);
   kernel_.SysSwapVa(as_, ctx_, PageAddr(0), PageAddr(0), 3, opts_);
   EXPECT_TRUE(PageHasStamp(0, 7));
 }
 
-TEST_F(SwapVaTest, AdjacentRangesSameLeafDoNotDeadlock) {
+TEST_P(SwapVaTest, AdjacentRangesSameLeafDoNotDeadlock) {
   // Both PTEs live in the same leaf table -> one split-PTL; the pair-locking
   // path must detect that instead of self-deadlocking.
   StampPage(10, 1);
@@ -82,7 +99,7 @@ TEST_F(SwapVaTest, AdjacentRangesSameLeafDoNotDeadlock) {
   EXPECT_TRUE(PageHasStamp(11, 1));
 }
 
-TEST_F(SwapVaTest, NoBytesAreCopied) {
+TEST_P(SwapVaTest, NoBytesAreCopied) {
   StampPage(0, 1);
   StampPage(200, 2);
   const std::byte* frame_before = as_.RawPtr(PageAddr(0));
@@ -105,12 +122,21 @@ struct OverlapCase {
   std::uint64_t delta;
 };
 
-class SwapVaOverlap : public ::testing::TestWithParam<OverlapCase> {};
+class SwapVaOverlap
+    : public ::testing::TestWithParam<
+          std::tuple<TranslationBackend, OverlapCase>> {};
+
+std::string OverlapName(
+    const ::testing::TestParamInfo<SwapVaOverlap::ParamType>& info) {
+  const OverlapCase oc = std::get<1>(info.param);
+  return std::string(TranslationBackendName(std::get<0>(info.param))) + "_p" +
+         std::to_string(oc.pages) + "_d" + std::to_string(oc.delta);
+}
 
 TEST_P(SwapVaOverlap, RotationProperty) {
-  const auto [pages, delta] = GetParam();
+  const auto [pages, delta] = std::get<1>(GetParam());
   ASSERT_LT(delta, pages);
-  Machine machine(2, ProfileXeonGold6130());
+  Machine machine(2, ProfileXeonGold6130(), std::get<0>(GetParam()));
   Kernel kernel(machine);
   PhysicalMemory phys((pages + delta + 8) * kPageSize);
   AddressSpace as(machine, phys);
@@ -130,20 +156,25 @@ TEST_P(SwapVaOverlap, RotationProperty) {
 
 INSTANTIATE_TEST_SUITE_P(
     GcdCycleShapes, SwapVaOverlap,
-    ::testing::Values(OverlapCase{2, 1}, OverlapCase{3, 1}, OverlapCase{4, 2},
-                      OverlapCase{6, 4}, OverlapCase{8, 6}, OverlapCase{9, 3},
-                      OverlapCase{16, 1}, OverlapCase{16, 15},
-                      OverlapCase{12, 8}, OverlapCase{25, 10},
-                      OverlapCase{64, 48}, OverlapCase{100, 60}));
+    ::testing::Combine(
+        ::testing::Values(TranslationBackend::kRadix,
+                          TranslationBackend::kHashed),
+        ::testing::Values(OverlapCase{2, 1}, OverlapCase{3, 1},
+                          OverlapCase{4, 2}, OverlapCase{6, 4},
+                          OverlapCase{8, 6}, OverlapCase{9, 3},
+                          OverlapCase{16, 1}, OverlapCase{16, 15},
+                          OverlapCase{12, 8}, OverlapCase{25, 10},
+                          OverlapCase{64, 48}, OverlapCase{100, 60})),
+    OverlapName);
 
-TEST_F(SwapVaTest, OverlapTouchesPagesPlusDelta) {
+TEST_P(SwapVaTest, OverlapTouchesPagesPlusDelta) {
   const auto before = kernel_.pages_swapped();
   kernel_.SysSwapVa(as_, ctx_, PageAddr(0), PageAddr(6), 10, opts_);
   // O(n + delta): 10 + 6 pages visited, not 2*10.
   EXPECT_EQ(kernel_.pages_swapped() - before, 16u);
 }
 
-TEST_F(SwapVaTest, OverlapMoveUsableAsGcMove) {
+TEST_P(SwapVaTest, OverlapMoveUsableAsGcMove) {
   // MoveObject(source, dest) with dest < source and overlap: dest range must
   // receive the old source content exactly.
   constexpr std::uint64_t kPages = 12;
@@ -157,7 +188,7 @@ TEST_F(SwapVaTest, OverlapMoveUsableAsGcMove) {
 
 // --- aggregation -------------------------------------------------------------
 
-TEST_F(SwapVaTest, VectoredCallMatchesSeparatedResults) {
+TEST_P(SwapVaTest, VectoredCallMatchesSeparatedResults) {
   for (std::uint64_t i = 0; i < 6; ++i) StampPage(i, 0x100 + i);
   for (std::uint64_t i = 0; i < 6; ++i) StampPage(300 + i, 0x200 + i);
   std::vector<SwapRequest> requests;
@@ -171,7 +202,7 @@ TEST_F(SwapVaTest, VectoredCallMatchesSeparatedResults) {
   }
 }
 
-TEST_F(SwapVaTest, AggregationChargesOneSyscall) {
+TEST_P(SwapVaTest, AggregationChargesOneSyscall) {
   std::vector<SwapRequest> requests;
   for (std::uint64_t i = 0; i < 8; ++i) {
     requests.push_back({PageAddr(2 * i), PageAddr(200 + 2 * i), 1});
@@ -190,7 +221,7 @@ TEST_F(SwapVaTest, AggregationChargesOneSyscall) {
   EXPECT_LT(vec_ctx.account.total(), sep_ctx.account.total());
 }
 
-TEST_F(SwapVaTest, EmptyVectorChargesOnlyEntry) {
+TEST_P(SwapVaTest, EmptyVectorChargesOnlyEntry) {
   CpuContext ctx(machine_, 0);
   kernel_.SysSwapVaVec(as_, ctx, {}, opts_);
   EXPECT_DOUBLE_EQ(ctx.account.total(), machine_.cost().syscall_entry);
@@ -198,18 +229,24 @@ TEST_F(SwapVaTest, EmptyVectorChargesOnlyEntry) {
 
 // --- optimizations & cost structure ------------------------------------------
 
-TEST_F(SwapVaTest, PmdCachingIsCheaperForMultiPage) {
+TEST_P(SwapVaTest, PmdCachingIsCheaperForMultiPage) {
   SwapVaOptions cached = opts_;
   SwapVaOptions uncached = opts_;
   uncached.pmd_caching = false;
   CpuContext with_cache(machine_, 0), without(machine_, 0);
   kernel_.SysSwapVa(as_, with_cache, PageAddr(0), PageAddr(128), 64, cached);
   kernel_.SysSwapVa(as_, without, PageAddr(0), PageAddr(128), 64, uncached);
-  EXPECT_LT(with_cache.account.ByKind(CostKind::kPageWalk),
-            without.account.ByKind(CostKind::kPageWalk));
+  if (GetParam() == TranslationBackend::kRadix) {
+    EXPECT_LT(with_cache.account.ByKind(CostKind::kPageWalk),
+              without.account.ByKind(CostKind::kPageWalk));
+  } else {
+    // No directory walk to cache: the knob is inert on the hashed backend.
+    EXPECT_DOUBLE_EQ(with_cache.account.ByKind(CostKind::kPageWalk),
+                     without.account.ByKind(CostKind::kPageWalk));
+  }
 }
 
-TEST_F(SwapVaTest, CostIsLinearInPages) {
+TEST_P(SwapVaTest, CostIsLinearInPages) {
   SwapVaOptions local = opts_;
   local.tlb_policy = TlbPolicy::kLocalOnly;  // exclude per-call IPI fan-out
   CpuContext small(machine_, 0), large(machine_, 0);
@@ -224,7 +261,7 @@ TEST_F(SwapVaTest, CostIsLinearInPages) {
 
 // --- TLB coherence policies ---------------------------------------------------
 
-TEST_F(SwapVaTest, GlobalPolicyShootsDownOtherCores) {
+TEST_P(SwapVaTest, GlobalPolicyShootsDownOtherCores) {
   machine_.ResetCounters();
   SwapVaOptions global = opts_;
   global.tlb_policy = TlbPolicy::kGlobalPerCall;
@@ -232,7 +269,7 @@ TEST_F(SwapVaTest, GlobalPolicyShootsDownOtherCores) {
   EXPECT_EQ(machine_.TotalIpisSent(), machine_.num_cores() - 1);
 }
 
-TEST_F(SwapVaTest, LocalPolicySendsNoIpis) {
+TEST_P(SwapVaTest, LocalPolicySendsNoIpis) {
   machine_.ResetCounters();
   SwapVaOptions local = opts_;
   local.tlb_policy = TlbPolicy::kLocalOnly;
@@ -240,7 +277,7 @@ TEST_F(SwapVaTest, LocalPolicySendsNoIpis) {
   EXPECT_EQ(machine_.TotalIpisSent(), 0u);
 }
 
-TEST_F(SwapVaTest, LocalTlbIsFlushedAfterSwap) {
+TEST_P(SwapVaTest, LocalTlbIsFlushedAfterSwap) {
   // Warm the local TLB with the pre-swap translation, swap, then verify the
   // hardware path re-walks and sees the *new* frame (the DCHECK inside
   // HwPtr would abort on a stale hit).
@@ -256,7 +293,7 @@ TEST_F(SwapVaTest, LocalTlbIsFlushedAfterSwap) {
   EXPECT_EQ(as_.ReadWord(PageAddr(0)), 2 ^ 0u);
 }
 
-TEST_F(SwapVaTest, FlushProcessTlbsClearsEveryCore) {
+TEST_P(SwapVaTest, FlushProcessTlbsClearsEveryCore) {
   for (unsigned core = 0; core < machine_.num_cores(); ++core) {
     machine_.tlb(core).Insert(as_.asid(), 1, 1);
   }
@@ -266,7 +303,7 @@ TEST_F(SwapVaTest, FlushProcessTlbsClearsEveryCore) {
   }
 }
 
-TEST_F(SwapVaTest, PinUnpinChargeSyscalls) {
+TEST_P(SwapVaTest, PinUnpinChargeSyscalls) {
   CpuContext ctx(machine_, 0);
   kernel_.SysPin(ctx);
   kernel_.SysUnpin(ctx);
@@ -274,7 +311,7 @@ TEST_F(SwapVaTest, PinUnpinChargeSyscalls) {
                    2 * machine_.cost().syscall_entry);
 }
 
-TEST_F(SwapVaTest, CountersTrackCallsAndPages) {
+TEST_P(SwapVaTest, CountersTrackCallsAndPages) {
   const auto calls = kernel_.swapva_calls();
   const auto pages = kernel_.pages_swapped();
   kernel_.SysSwapVa(as_, ctx_, PageAddr(0), PageAddr(100), 5, opts_);
@@ -285,7 +322,7 @@ TEST_F(SwapVaTest, CountersTrackCallsAndPages) {
 // Randomized differential test: an arbitrary sequence of swaps/moves must
 // leave the address space exactly like a reference model (a host array
 // manipulated with std::swap_ranges/std::memmove).
-TEST_F(SwapVaTest, RandomizedDifferentialAgainstReferenceModel) {
+TEST_P(SwapVaTest, RandomizedDifferentialAgainstReferenceModel) {
   constexpr std::uint64_t kPages = 64;
   std::vector<std::uint64_t> reference(kPages);
   for (std::uint64_t i = 0; i < kPages; ++i) {
@@ -322,7 +359,7 @@ TEST_F(SwapVaTest, RandomizedDifferentialAgainstReferenceModel) {
 
 // --- PMD-level huge-entry swapping -------------------------------------------
 
-class SwapVaHugeTest : public ::testing::Test {
+class SwapVaHugeTest : public ::testing::TestWithParam<TranslationBackend> {
  protected:
   static constexpr std::uint64_t kUnits = 8;  // mapped 2 MiB units
   static constexpr vaddr_t kHugeBase = 1ULL << 33;
@@ -343,7 +380,7 @@ class SwapVaHugeTest : public ::testing::Test {
     return as_.ReadWord(PageAddr(page));
   }
 
-  Machine machine_{4, ProfileXeonGold6130()};
+  Machine machine_{4, ProfileXeonGold6130(), GetParam()};
   Kernel kernel_{machine_};
   PhysicalMemory phys_{(kUnits + 1) * kHugePageSize};
   AddressSpace as_{machine_, phys_};
@@ -351,7 +388,12 @@ class SwapVaHugeTest : public ::testing::Test {
   SwapVaOptions opts_{};
 };
 
-TEST_F(SwapVaHugeTest, AlignedSwapExchangesPmdEntries) {
+INSTANTIATE_TEST_SUITE_P(Backends, SwapVaHugeTest,
+                         ::testing::Values(TranslationBackend::kRadix,
+                                           TranslationBackend::kHashed),
+                         BackendName);
+
+TEST_P(SwapVaHugeTest, AlignedSwapExchangesPmdEntries) {
   for (std::uint64_t p = 0; p < 2 * kPagesPerHuge; ++p) {
     StampPage(p, 0xA000 + p);
     StampPage(4 * kPagesPerHuge + p, 0xB000 + p);
@@ -371,16 +413,16 @@ TEST_F(SwapVaHugeTest, AlignedSwapExchangesPmdEntries) {
   EXPECT_DOUBLE_EQ(ctx_.account.ByKind(CostKind::kPteUpdate),
                    2 * machine_.cost().pte_update);
   // The swapped units stay huge-mapped: no demotion on the fast path.
-  PageTable& table = as_.page_table();
+  Translation& table = as_.translation();
   for (const std::uint64_t unit : {0ull, 1ull, 4ull, 5ull}) {
     EXPECT_TRUE(
         table.LookupHuge((UnitAddr(unit)) >> kPageShift).has_value())
         << unit;
   }
-  EXPECT_EQ(table.CountAliasedPmdEntries(), 0u);
+  EXPECT_EQ(table.CountAliasedUnits(), 0u);
 }
 
-TEST_F(SwapVaHugeTest, DisabledOptionSplitsAndSwapsPtes) {
+TEST_P(SwapVaHugeTest, DisabledOptionSplitsAndSwapsPtes) {
   SwapVaOptions pte_only = opts_;
   pte_only.pmd_swapping = false;
   StampPage(0, 1);
@@ -394,10 +436,10 @@ TEST_F(SwapVaHugeTest, DisabledOptionSplitsAndSwapsPtes) {
   EXPECT_EQ(kernel_.pte_swaps(), kPagesPerHuge);
   EXPECT_EQ(kernel_.pmd_splits(), 2u);  // both units demoted
   EXPECT_FALSE(
-      as_.page_table().LookupHuge(UnitAddr(0) >> kPageShift).has_value());
+      as_.translation().LookupHuge(UnitAddr(0) >> kPageShift).has_value());
 }
 
-TEST_F(SwapVaHugeTest, RaggedTailSplitsOnlyTailUnits) {
+TEST_P(SwapVaHugeTest, RaggedTailSplitsOnlyTailUnits) {
   const std::uint64_t pages = kPagesPerHuge + 8;  // 1 unit + 8-page tail
   for (std::uint64_t p = 0; p < pages; ++p) {
     StampPage(p, 0xC000 + p);
@@ -413,15 +455,15 @@ TEST_F(SwapVaHugeTest, RaggedTailSplitsOnlyTailUnits) {
   EXPECT_EQ(kernel_.pmd_swaps(), 1u);
   EXPECT_EQ(kernel_.pte_swaps(), 8u);
   EXPECT_EQ(kernel_.pmd_splits(), 2u);  // only the two tail units demote
-  PageTable& table = as_.page_table();
+  Translation& table = as_.translation();
   EXPECT_TRUE(table.LookupHuge(UnitAddr(0) >> kPageShift).has_value());
   EXPECT_TRUE(table.LookupHuge(UnitAddr(4) >> kPageShift).has_value());
   EXPECT_FALSE(table.LookupHuge(UnitAddr(1) >> kPageShift).has_value());
   EXPECT_FALSE(table.LookupHuge(UnitAddr(5) >> kPageShift).has_value());
-  EXPECT_EQ(table.CountAliasedPmdEntries(), 0u);
+  EXPECT_EQ(table.CountAliasedUnits(), 0u);
 }
 
-TEST_F(SwapVaHugeTest, UnalignedAddressesFallBackToPteExchange) {
+TEST_P(SwapVaHugeTest, UnalignedAddressesFallBackToPteExchange) {
   StampPage(3, 7);
   StampPage(4 * kPagesPerHuge + 3, 9);
   ASSERT_EQ(kernel_.SysSwapVa(as_, ctx_, PageAddr(3),
@@ -434,7 +476,7 @@ TEST_F(SwapVaHugeTest, UnalignedAddressesFallBackToPteExchange) {
   EXPECT_EQ(kernel_.pmd_splits(), 2u);
 }
 
-TEST_F(SwapVaHugeTest, CounterIdentityHoldsAcrossMixedCalls) {
+TEST_P(SwapVaHugeTest, CounterIdentityHoldsAcrossMixedCalls) {
   kernel_.SysSwapVa(as_, ctx_, UnitAddr(0), UnitAddr(4), kPagesPerHuge, opts_);
   kernel_.SysSwapVa(as_, ctx_, UnitAddr(1), UnitAddr(5),
                     kPagesPerHuge + 12, opts_);
@@ -444,11 +486,11 @@ TEST_F(SwapVaHugeTest, CounterIdentityHoldsAcrossMixedCalls) {
             kernel_.pages_swapped());
 }
 
-TEST_F(SwapVaHugeTest, HugeTlbEntryHasUnitReachAndUnitFlushGranularity) {
+TEST_P(SwapVaHugeTest, HugeTlbEntryHasUnitReachAndUnitFlushGranularity) {
   Tlb& tlb = machine_.tlb(0);
   const std::uint64_t unit_vpn = UnitAddr(2) >> kPageShift;
   const frame_t base =
-      *as_.page_table().LookupHuge(unit_vpn);
+      *as_.translation().LookupHuge(unit_vpn);
   tlb.InsertHuge(as_.asid(), unit_vpn, base);
   // One entry answers for every page of the unit, with the per-page frame.
   for (const std::uint64_t off : {0ull, 1ull, 255ull, 511ull}) {
@@ -462,7 +504,7 @@ TEST_F(SwapVaHugeTest, HugeTlbEntryHasUnitReachAndUnitFlushGranularity) {
   EXPECT_FALSE(tlb.Lookup(as_.asid(), unit_vpn + 300).hit);
 }
 
-TEST_F(SwapVaHugeTest, HardwareWalkInstallsHugeEntry) {
+TEST_P(SwapVaHugeTest, HardwareWalkInstallsHugeEntry) {
   // First touch misses and walks; the installed 2 MiB entry then covers the
   // whole unit, so a different page of the same unit hits.
   (void)as_.HwPtr(ctx_, UnitAddr(2));
@@ -471,7 +513,7 @@ TEST_F(SwapVaHugeTest, HardwareWalkInstallsHugeEntry) {
   EXPECT_EQ(machine_.tlb(0).hits(), hits_before + 1);
 }
 
-TEST_F(SwapVaHugeTest, OverlapRotatesWholePmdEntries) {
+TEST_P(SwapVaHugeTest, OverlapRotatesWholePmdEntries) {
   // GC-style downward move by one unit: [u1, u3) -> [u0, u2). The rotation
   // spans 3 units; every unit is huge-mapped, so the kernel rotates the PMD
   // entries themselves.
@@ -501,13 +543,13 @@ TEST_F(SwapVaHugeTest, OverlapRotatesWholePmdEntries) {
   EXPECT_EQ(kernel_.pages_swapped(), 3 * kPagesPerHuge);
 }
 
-TEST_F(SwapVaHugeTest, OverlapFallsBackWhenSpanNotAllHuge) {
+TEST_P(SwapVaHugeTest, OverlapFallsBackWhenSpanNotAllHuge) {
   // Demote unit 2 first (a sub-unit PTE swap inside it), then the same
   // rotation must take the PTE path: all-huge pre-scan fails.
   kernel_.SysSwapVa(as_, ctx_, PageAddr(2 * kPagesPerHuge),
                     PageAddr(6 * kPagesPerHuge + 1), 1, opts_);
   ASSERT_FALSE(
-      as_.page_table().LookupHuge(UnitAddr(2) >> kPageShift).has_value());
+      as_.translation().LookupHuge(UnitAddr(2) >> kPageShift).has_value());
   const std::uint64_t pmd_before = kernel_.pmd_swaps();
   StampPage(kPagesPerHuge, 0x77);
   ASSERT_EQ(kernel_.SysSwapVa(as_, ctx_, UnitAddr(0), UnitAddr(1),
@@ -517,7 +559,7 @@ TEST_F(SwapVaHugeTest, OverlapFallsBackWhenSpanNotAllHuge) {
   EXPECT_EQ(kernel_.pmd_swaps(), pmd_before);
   // 1 page from the demoting swap + the whole 3-unit rotation span.
   EXPECT_EQ(kernel_.pte_swaps(), 1u + 3 * kPagesPerHuge);
-  EXPECT_EQ(as_.page_table().CountAliasedPmdEntries(), 0u);
+  EXPECT_EQ(as_.translation().CountAliasedUnits(), 0u);
 }
 
 }  // namespace
