@@ -262,6 +262,7 @@ int main(int argc, char** argv) {
       "fig19_plan_optimizer",
       "fig20_fleet_arbiter",
       "fig21_translation_backends",
+      "fig22_concurrent_pause",
       "tab02_config",
       "tab03_cache_dtlb",
       "ablation_minor_copy",

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "gc/parallel_lisp2.h"
+#include "gc/phase_engine.h"
 #include "simkernel/phys_mem.h"
 #include "support/check.h"
 #include "support/rng.h"
@@ -40,7 +41,7 @@ std::uint64_t HashDigest(const verify::HeapDigest& digest) {
 struct TenantState {
   unsigned id = 0;
   workloads::TenantBundle bundle;
-  gc::ParallelLisp2* stepper = nullptr;  // non-null iff stepwise-capable
+  gc::PhaseEngine* stepper = nullptr;  // non-null iff stepwise-capable
 
   // Open-loop arrival clock (modeled cycles on this tenant's local timeline).
   Rng arrivals{0};
@@ -183,15 +184,27 @@ class FleetRun {
       t.bundle.jvm->RetireAllTlabs();
       t.stepper->BeginCycle(*t.bundle.jvm);
     }
-    for (int phase = 0; phase < 3; ++phase) {  // mark, forward, adjust
-      for (const unsigned id : members) tenants_[id].stepper->StepPhase();
+    // Round-robin quanta until every member sits at its relocation boundary
+    // (for ParallelLisp2 this is exactly the original three interleaved
+    // rounds: mark, forward, adjust). The shared shootdown then covers all
+    // members' relocation work at once.
+    bool any_prefix = true;
+    while (any_prefix) {
+      any_prefix = false;
+      for (const unsigned id : members) {
+        gc::PhaseEngine* engine = tenants_[id].stepper;
+        if (engine->cycle_active() && !engine->at_relocation_boundary()) {
+          engine->StepPhase();
+          any_prefix = true;
+        }
+      }
     }
     arbiter_.BroadcastEpochFlush(members);
     double span = 0;  // members run concurrently: the epoch lasts as long
                       // as its slowest cycle
     for (const unsigned id : members) {
       TenantState& t = tenants_[id];
-      t.stepper->StepPhase();  // compact; completes and logs the cycle
+      t.stepper->FinishCycle();  // relocation onward; logs the cycle
       SVAGC_CHECK(!t.stepper->cycle_active());
       const rt::GcLog& log = t.bundle.jvm->collector().log();
       const double pause = log.cycles.back().Total();
@@ -291,10 +304,10 @@ FleetResult FleetRun::Run() {
     t.bundle = workloads::MakeTenant(config_.run, machine_, *phys_, kernel_,
                                      /*tenant=*/j, mutator_core, gc_first_core,
                                      (1ULL << 32) + j * (1ULL << 36));
-    t.stepper = dynamic_cast<gc::ParallelLisp2*>(&t.bundle.jvm->collector());
+    t.stepper = dynamic_cast<gc::PhaseEngine*>(&t.bundle.jvm->collector());
     if (arbitrated) {
       // The arbiter interleaves cycles phase-by-phase, so it needs the
-      // stepwise API — LISP2-family collectors only.
+      // stepwise PhaseEngine API.
       SVAGC_CHECK(t.stepper != nullptr);
     }
     if (auto* svagc =

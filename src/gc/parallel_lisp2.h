@@ -25,6 +25,7 @@
 #include "gc/collector.h"
 #include "gc/forwarding.h"
 #include "gc/mark.h"
+#include "gc/phase_engine.h"
 #include "gc/plan_optimizer.h"
 #include "support/spin_lock.h"
 #include "support/ws_deque.h"
@@ -87,7 +88,7 @@ inline const char* GcPhaseName(GcPhase phase) {
   return "?";
 }
 
-class ParallelLisp2 : public CollectorBase {
+class ParallelLisp2 : public CollectorBase, public PhaseEngine {
  public:
   ParallelLisp2(sim::Machine& machine, unsigned gc_threads,
                 unsigned first_core, std::uint64_t region_bytes = kDefaultRegionBytes)
@@ -107,9 +108,12 @@ class ParallelLisp2 : public CollectorBase {
   // — or a cross-tenant TLB flush — before resuming. Collect() is exactly
   // BeginCycle + 4 StepPhase calls, so single-stepped and monolithic cycles
   // are bit-identical.
-  void BeginCycle(rt::Jvm& jvm);
-  void StepPhase();
-  bool cycle_active() const { return cycle_ != nullptr; }
+  void BeginCycle(rt::Jvm& jvm) override;
+  void StepPhase() override;
+  bool cycle_active() const override { return cycle_ != nullptr; }
+  bool at_relocation_boundary() const override {
+    return cycle_ != nullptr && cycle_->next == GcPhase::kCompact;
+  }
   GcPhase next_phase() const {
     return cycle_ == nullptr ? GcPhase::kDone : cycle_->next;
   }

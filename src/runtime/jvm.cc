@@ -60,6 +60,7 @@ vaddr_t Jvm::New(std::uint32_t type_id, std::uint32_t num_refs,
   view.set_type_and_refs(type_id, num_refs);
   view.set_forwarding(0);
   heap_.NoteAllocation(bytes, heap_.IsLargeObject(bytes));
+  if (barrier_ != nullptr) barrier_->OnAlloc(*this, addr, logical_thread);
   return addr;
 }
 

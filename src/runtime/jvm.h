@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/gc_barrier.h"
 #include "runtime/heap.h"
 #include "runtime/object.h"
 #include "runtime/roots.h"
@@ -116,6 +117,10 @@ class Jvm {
   const JvmConfig& config() const { return config_; }
 
   void set_collector(std::unique_ptr<CollectorIface> collector) {
+    // The outgoing collector owned any installed barrier; never let a stale
+    // barrier pointer outlive it (the differential oracle swaps collectors
+    // under a live Jvm).
+    barrier_ = nullptr;
     collector_ = std::move(collector);
   }
   CollectorIface& collector() {
@@ -138,6 +143,46 @@ class Jvm {
               std::uint64_t data_bytes, unsigned logical_thread = 0);
 
   ObjectView View(vaddr_t addr) { return ObjectView(as_, addr); }
+
+  // --- barrier-mediated accessors -----------------------------------------
+  // With no barrier installed (every STW collector) these are the raw heap
+  // operations; a concurrent collector interposes via set_gc_barrier.
+  void set_gc_barrier(GcBarrier* barrier) { barrier_ = barrier; }
+  GcBarrier* gc_barrier() const { return barrier_; }
+
+  vaddr_t ReadRef(vaddr_t obj, std::uint32_t slot,
+                  unsigned logical_thread = 0) {
+    if (barrier_ != nullptr)
+      return barrier_->ReadRef(*this, obj, slot, logical_thread);
+    return View(obj).ref(slot);
+  }
+  void WriteRef(vaddr_t obj, std::uint32_t slot, vaddr_t value,
+                unsigned logical_thread = 0) {
+    if (barrier_ != nullptr) {
+      barrier_->WriteRef(*this, obj, slot, value, logical_thread);
+      return;
+    }
+    View(obj).set_ref(slot, value);
+  }
+  vaddr_t ReadRoot(RootSet::Handle handle) {
+    if (barrier_ != nullptr) return barrier_->ReadRoot(*this, handle);
+    return roots_.Get(handle);
+  }
+  void WriteRoot(RootSet::Handle handle, vaddr_t value) {
+    if (barrier_ != nullptr) {
+      barrier_->WriteRoot(*this, handle, value);
+      return;
+    }
+    roots_.Set(handle, value);
+  }
+  // Where the bytes of the object named `ref` currently live.
+  vaddr_t ResolveRef(vaddr_t ref) {
+    if (barrier_ != nullptr) return barrier_->Resolve(*this, ref);
+    return ref;
+  }
+  void SafepointPoll(unsigned logical_thread = 0) {
+    if (barrier_ != nullptr) barrier_->AtSafepoint(*this, logical_thread);
+  }
 
   // Mutator-side cycles across all logical threads (they share one core).
   double MutatorCycles() const;
@@ -162,6 +207,7 @@ class Jvm {
   JvmConfig config_;
   std::vector<std::unique_ptr<MutatorContext>> mutators_;
   std::unique_ptr<CollectorIface> collector_;
+  GcBarrier* barrier_ = nullptr;  // owned by the collector; see set_collector
   std::uint64_t gc_count_ = 0;
 };
 

@@ -5,6 +5,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "core/concurrent_svagc_collector.h"
 #include "core/svagc_collector.h"
 #include "runtime/heap_snapshot.h"
 #include "runtime/jvm.h"
@@ -71,8 +72,17 @@ class DropMoveCollector : public core::SvagcCollector {
   std::atomic<std::uint64_t> moves_dropped_{0};
 };
 
-std::unique_ptr<core::SvagcCollector> MakeArmCollector(
+std::unique_ptr<rt::CollectorIface> MakeArmCollector(
     const OracleConfig& config, sim::Machine& machine, bool use_swapva) {
+  if (config.concurrent) {
+    SVAGC_CHECK(!config.drop_move);  // drop_move is an STW-arm self-test
+    core::ConcurrentSvagcCoreConfig concurrent;
+    concurrent.move.threshold_pages = config.swap_threshold_pages;
+    concurrent.move.use_swapva = use_swapva;
+    concurrent.move.pmd_swapping = config.huge_threshold_pages != 0;
+    return std::make_unique<core::ConcurrentSvagcCollector>(
+        machine, config.gc_threads, /*first_core=*/0, concurrent);
+  }
   core::SvagcConfig svagc;
   svagc.move.threshold_pages = config.swap_threshold_pages;
   svagc.move.use_swapva = use_swapva;
@@ -328,15 +338,21 @@ OracleResult RunDifferentialOracle(const OracleConfig& config) {
   rt::RestoreHeap(jvm, snapshot);
   const HeapDigest pre_digest = DigestHeap(jvm);
 
-  // Arm A: SwapVA moves.
+  // Arm A: SwapVA moves. The fault hook (when any) covers exactly this
+  // compared cycle: injected swap/pin/shootdown faults exercise the recovery
+  // paths, and the digest comparison below proves recovery converged to the
+  // clean memmove arm's heap.
   rt::RestoreHeap(jvm, snapshot);
   jvm.set_collector(MakeArmCollector(config, machine, /*use_swapva=*/true));
+  if (config.swap_arm_fault_hook != nullptr) {
+    kernel.set_fault_hook(config.swap_arm_fault_hook);
+  }
   jvm.collector().Collect(jvm);
+  kernel.set_fault_hook(nullptr);
   result.swapped_bytes = jvm.collector().log().bytes_swapped.load();
   result.memmoved_bytes = jvm.collector().log().bytes_copied.load();
-  {
-    const telemetry::MetricsRegistry& metrics =
-        static_cast<core::SvagcCollector&>(jvm.collector()).metrics();
+  if (const auto* base = dynamic_cast<gc::CollectorBase*>(&jvm.collector())) {
+    const telemetry::MetricsRegistry& metrics = base->metrics();
     result.metrics_swapped_bytes = metrics.CounterValue("gc.bytes_swapped");
     result.metrics_memmoved_bytes = metrics.CounterValue("gc.bytes_copied");
   }

@@ -25,6 +25,10 @@
 #include "simkernel/translation.h"
 #include "verify/invariant_registry.h"
 
+namespace svagc::sim {
+class FaultHook;
+}
+
 namespace svagc::rt {
 class Jvm;
 }
@@ -72,6 +76,14 @@ struct OracleConfig {
   unsigned warmup_iterations = 6;
   std::uint64_t swap_threshold_pages = 10;
 
+  // Run both arms under the mutator-concurrent collector
+  // (core::ConcurrentSvagcCollector) instead of the STW SvagcCollector. The
+  // compared cycle still runs snapshot-to-snapshot inside Collect(), so the
+  // digests isolate the incremental evacuation machinery (per-window
+  // flushes, single pinned mover, fwd-map adjust) against its own memmove
+  // arm. Incompatible with drop_move.
+  bool concurrent = false;
+
   // 2 MiB alignment class, forwarded to HeapConfig::huge_threshold_pages
   // (and enabling the kernel's PMD swapping in the swap arm). 0 = disabled.
   std::uint64_t huge_threshold_pages = 0;
@@ -103,6 +115,12 @@ struct OracleConfig {
   // this is the self-test proving the digest has teeth.
   bool drop_move = false;
   std::uint64_t drop_move_index = 0;
+
+  // Fault hook installed on the kernel for the swap arm's compared cycle
+  // only (detached for warmup and the memmove arm), so fault-injection tests
+  // can prove the recovery paths converge to the very same heap the clean
+  // memmove arm produces.
+  sim::FaultHook* swap_arm_fault_hook = nullptr;
 };
 
 struct OracleResult {

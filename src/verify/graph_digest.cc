@@ -1,0 +1,63 @@
+#include "verify/graph_digest.h"
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/jvm.h"
+
+namespace svagc::verify {
+
+std::uint64_t DigestReachableGraph(rt::Jvm& jvm) {
+  sim::AddressSpace& as = jvm.address_space();
+
+  // Pass 1: canonical ids by BFS first-visit order, 1-based (0 = null).
+  std::unordered_map<rt::vaddr_t, std::uint64_t> id;
+  std::vector<rt::vaddr_t> order;
+  std::deque<rt::vaddr_t> queue;
+  const auto visit = [&](rt::vaddr_t addr) -> std::uint64_t {
+    if (addr == 0) return 0;
+    const auto [it, inserted] = id.emplace(addr, order.size() + 1);
+    if (inserted) {
+      order.push_back(addr);
+      queue.push_back(addr);
+    }
+    return it->second;
+  };
+
+  GraphDigestBuilder builder;
+  std::vector<std::uint64_t> root_ids;
+  jvm.roots().ForEachSlot(
+      [&](rt::vaddr_t& slot) { root_ids.push_back(visit(slot)); });
+  for (const std::uint64_t root : root_ids) builder.AddRoot(root);
+
+  while (!queue.empty()) {
+    const rt::vaddr_t addr = queue.front();
+    queue.pop_front();
+    rt::ObjectView view(as, addr);
+    const std::uint32_t refs = view.num_refs();
+    for (std::uint32_t i = 0; i < refs; ++i) visit(view.ref(i));
+  }
+
+  // Pass 2: fold nodes in canonical order (ids are now all assigned).
+  std::vector<std::uint64_t> ref_ids;
+  std::vector<std::uint64_t> payload;
+  for (const rt::vaddr_t addr : order) {
+    rt::ObjectView view(as, addr);
+    const std::uint32_t refs = view.num_refs();
+    ref_ids.clear();
+    for (std::uint32_t i = 0; i < refs; ++i) {
+      const rt::vaddr_t target = view.ref(i);
+      ref_ids.push_back(target == 0 ? 0 : id.at(target));
+    }
+    payload.clear();
+    const std::uint64_t words = view.data_words();
+    for (std::uint64_t w = 0; w < words; ++w) {
+      payload.push_back(view.data_word(w));
+    }
+    builder.AddNode(view.type_id(), refs, ref_ids, payload);
+  }
+  return builder.digest();
+}
+
+}  // namespace svagc::verify

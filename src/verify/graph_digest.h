@@ -1,0 +1,67 @@
+// Canonical reachable-graph digest: a layout-independent fingerprint of the
+// object graph a mutator can observe.
+//
+// DigestHeap (differential_oracle) fingerprints the heap *layout* — byte
+// addresses, filler placement, top — which is exactly right for comparing
+// two executions of the same plan. The interleaving-schedule harness needs
+// something weaker and stronger at once: two runs whose GC cycles trigger at
+// different points (a concurrent arm stepped quantum-by-quantum vs a fully
+// STW reference run) end with different layouts but must expose the *same
+// graph*. This digest therefore names objects by BFS visit order (roots in
+// slot order, reference slots in index order, FIFO), and folds in only what
+// the mutator can read: root targets, each object's type, arity, payload
+// words, and the canonical ids its reference slots point at.
+//
+// GraphDigestBuilder exposes the same folding to non-heap graph mirrors, so
+// the harness's shadow graph (plain C++ structs) can produce a digest that
+// is comparable with a real heap's — a three-way identity check.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "runtime/object.h"
+
+namespace svagc::rt {
+class Jvm;
+}
+
+namespace svagc::verify {
+
+// Incremental FNV-1a folding with the node/root framing DigestReachableGraph
+// uses. Feed roots first (canonical id per root slot, 0 for null), then every
+// node in canonical-id order.
+class GraphDigestBuilder {
+ public:
+  void AddRoot(std::uint64_t canonical_id) {
+    Fold(0x526F6F74);  // framing tag
+    Fold(canonical_id);
+  }
+  // `ref_ids` are canonical ids (1-based, 0 = null), slot order.
+  void AddNode(std::uint32_t type_id, std::uint32_t num_refs,
+               std::span<const std::uint64_t> ref_ids,
+               std::span<const std::uint64_t> payload_words) {
+    Fold(0x4E6F6465);  // framing tag
+    Fold((static_cast<std::uint64_t>(type_id) << 32) | num_refs);
+    for (const std::uint64_t id : ref_ids) Fold(id);
+    Fold(0x44617461);  // framing tag
+    Fold(payload_words.size());
+    for (const std::uint64_t word : payload_words) Fold(word);
+  }
+  std::uint64_t digest() const { return hash_; }
+
+ private:
+  void Fold(std::uint64_t value) {
+    for (unsigned i = 0; i < 8; ++i) {
+      hash_ ^= (value >> (8 * i)) & 0xFF;
+      hash_ *= 0x100000001B3ULL;
+    }
+  }
+  std::uint64_t hash_ = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+};
+
+// Digests the graph reachable from the roots. Reads the heap raw (uncosted,
+// unbarriered) — callers must not have a GC cycle mid-flight.
+std::uint64_t DigestReachableGraph(rt::Jvm& jvm);
+
+}  // namespace svagc::verify

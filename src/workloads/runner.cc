@@ -1,5 +1,6 @@
 #include "workloads/runner.h"
 
+#include "core/concurrent_svagc_collector.h"
 #include "gc/lisp2.h"
 #include "gc/parallel_gc.h"
 #include "gc/shenandoah_gc.h"
@@ -15,6 +16,7 @@ bool UsesAlignedLargeObjects(CollectorKind kind) {
     case CollectorKind::kSvagc:
     case CollectorKind::kSvagcNoSwap:
     case CollectorKind::kSvagcNaiveTlb:
+    case CollectorKind::kConcurrentSvagc:
       return true;
     case CollectorKind::kParallelGc:
     case CollectorKind::kShenandoah:
@@ -46,6 +48,20 @@ std::unique_ptr<rt::CollectorIface> MakeCollector(CollectorKind kind,
       collector = std::make_unique<core::SvagcCollector>(
           machine, config.gc_threads, first_core, svagc);
       break;
+    case CollectorKind::kConcurrentSvagc: {
+      core::ConcurrentSvagcCoreConfig concurrent;
+      concurrent.move.threshold_pages = config.swap_threshold_pages;
+      // Charge swap syscalls inside the move that issues them, not in a
+      // window-end batch flush: the per-move budget check must see the true
+      // accrued cost or a window can silently overrun its quantum.
+      concurrent.move.aggregate = false;
+      if (config.concurrent_quantum_cycles > 0) {
+        concurrent.concurrent.quantum_cycles = config.concurrent_quantum_cycles;
+      }
+      collector = std::make_unique<core::ConcurrentSvagcCollector>(
+          machine, config.gc_threads, first_core, concurrent);
+      break;
+    }
     case CollectorKind::kParallelGc:
       collector = std::make_unique<gc::ParallelGcLike>(
           machine, config.gc_threads, first_core);
@@ -97,6 +113,12 @@ TenantBundle MakeTenant(const RunConfig& config, sim::Machine& machine,
   bundle.jvm = std::make_unique<rt::Jvm>(machine, phys, kernel, jvm_config);
   bundle.jvm->set_collector(
       MakeCollector(config.collector, machine, config, gc_first_core));
+  // A concurrent collector is also the mutators' barrier: wire it so the
+  // workloads' barriered accessors route through it from the first cycle.
+  if (auto* barrier =
+          dynamic_cast<rt::GcBarrier*>(&bundle.jvm->collector())) {
+    bundle.jvm->set_gc_barrier(barrier);
+  }
   bundle.jvm->address_space().set_trace(config.trace);
   bundle.mutator_core = mutator_core;
   return bundle;
@@ -171,6 +193,8 @@ const char* CollectorKindName(CollectorKind kind) {
       return "SVAGC(memmove)";
     case CollectorKind::kSvagcNaiveTlb:
       return "SVAGC(naiveTLB)";
+    case CollectorKind::kConcurrentSvagc:
+      return "ConcurrentSVAGC";
     case CollectorKind::kParallelGc:
       return "ParallelGC";
     case CollectorKind::kShenandoah:

@@ -17,12 +17,14 @@
 namespace svagc::workloads {
 
 enum class CollectorKind {
-  kSvagc,          // full SVAGC: SwapVA + aggregation + PMD cache + pinning
-  kSvagcNoSwap,    // SVAGC layout but memmove-only (Fig. 11 left bars)
-  kSvagcNaiveTlb,  // SwapVA with per-call global shootdowns (Fig. 9 naive)
-  kParallelGc,     // ParallelGC-like baseline
-  kShenandoah,     // Shenandoah-like baseline
-  kSerialLisp2,    // serial LISP2 prototype (Fig. 1)
+  kSvagc,            // full SVAGC: SwapVA + aggregation + PMD cache + pinning
+  kSvagcNoSwap,      // SVAGC layout but memmove-only (Fig. 11 left bars)
+  kSvagcNaiveTlb,    // SwapVA with per-call global shootdowns (Fig. 9 naive)
+  kConcurrentSvagc,  // mutator-concurrent SVAGC (SATB mark + incremental
+                     // SwapVA evacuation; see src/gc/concurrent_svagc.h)
+  kParallelGc,       // ParallelGC-like baseline
+  kShenandoah,       // Shenandoah-like baseline
+  kSerialLisp2,      // serial LISP2 prototype (Fig. 1)
 };
 
 const char* CollectorKindName(CollectorKind kind);
@@ -38,6 +40,10 @@ struct RunConfig {
   unsigned iterations = 0;   // 0 = workload default
   unsigned machine_cores = 32;
   std::uint64_t swap_threshold_pages = 10;
+  // kConcurrentSvagc only: per-[STW]-window work budget in modeled cycles.
+  // 0 keeps gc::ConcurrentSvagcConfig's default. fig22 sweeps pause bounds
+  // through this without constructing collectors by hand.
+  double concurrent_quantum_cycles = 0;
   // Phase II / phase IV strategy knobs (fig17 sweeps these; the defaults
   // are the production configuration used by every other figure).
   gc::ForwardingMode forwarding = gc::ForwardingMode::kParallelSummary;

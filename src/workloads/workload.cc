@@ -14,7 +14,12 @@ rt::vaddr_t AllocRefTable(rt::Jvm& jvm, std::uint32_t num_refs,
 
 void StreamOverObject(rt::Jvm& jvm, unsigned logical_thread, rt::vaddr_t obj,
                       double cycles_per_byte, bool write) {
-  rt::ObjectView view(jvm.address_space(), obj);
+  // Safepoint poll on the hot streaming path: a concurrent collector may run
+  // one bounded work quantum here (no-op for the STW collectors). Resolve
+  // afterwards — the quantum may have been a plan step, and the bytes must
+  // be streamed at the object's current location.
+  jvm.SafepointPoll(logical_thread);
+  rt::ObjectView view(jvm.address_space(), jvm.ResolveRef(obj));
   // Stale-reference canary: a vaddr held across an allocation that triggered
   // a GC points at reclaimed space whose "header" is garbage. Catch the
   // workload bug here instead of charging 2^60 cycles.

@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/concurrent_svagc_collector.h"
 #include "core/minor_copy.h"
 #include "core/svagc_collector.h"
 #include "fleet/fleet_runner.h"
@@ -524,6 +525,156 @@ TEST_F(FaultInjectionTest, StateIsCleanAfterDeathTest) {
             sim::SysStatus::kOk);
   EXPECT_EQ(as.ReadWord(base), 2u);
   EXPECT_EQ(injector_.total_fires(), 0u);
+}
+
+// --- faults against the mutator-concurrent collector -------------------------
+
+// Rig: rooted + garbage large objects under the mutator-concurrent collector
+// with a small quantum, so the cycle's evacuation splits into several [STW]
+// windows — and the rig performs barriered reads between every quantum, the
+// exact interleaving the fault has to corrupt to be dangerous.
+class ConcurrentFaultRig {
+ public:
+  ConcurrentFaultRig() : sim_(4, 512ULL << 20) {
+    rt::JvmConfig config;
+    config.heap.capacity = 64ULL << 20;
+    config.gc_threads = 2;
+    jvm_ = std::make_unique<rt::Jvm>(sim_.machine, sim_.phys, sim_.kernel,
+                                     config);
+    core::ConcurrentSvagcCoreConfig cc;
+    // Small enough that one window holds only a couple of large-object
+    // moves (a SwapVA move is just page-table relinks — a few thousand
+    // cycles), so the cycle takes several evacuation windows. Aggregation
+    // off so each move's syscall is charged inline, where the window budget
+    // can see it.
+    cc.concurrent.quantum_cycles = 2500;
+    cc.move.aggregate = false;
+    auto owned = std::make_unique<core::ConcurrentSvagcCollector>(
+        sim_.machine, /*gc_threads=*/2, /*first_core=*/0, cc);
+    collector_ = owned.get();
+    jvm_->set_collector(std::move(owned));
+    jvm_->set_gc_barrier(collector_);
+    for (std::uint64_t i = 0; i < 6; ++i) {
+      NewLarge(*jvm_, 200 + i);  // garbage, so the survivors slide left
+      rooted_.emplace_back(jvm_->roots().Add(NewLarge(*jvm_, i)), i);
+    }
+  }
+
+  rt::Jvm& jvm() { return *jvm_; }
+  sim::Kernel& kernel() { return sim_.kernel; }
+  core::ConcurrentSvagcCollector& collector() { return *collector_; }
+
+  // One full cycle, stepped; between quanta every rooted object is read
+  // through the barrier and its stamp checked — a stale pre-forwarding
+  // address or an un-flushed mapping would surface right here.
+  void DriveCycle() {
+    collector_->BeginCycle(*jvm_);
+    while (collector_->cycle_active()) {
+      collector_->StepPhase();
+      for (const auto& [handle, tag] : rooted_) {
+        const rt::vaddr_t name = jvm_->ReadRoot(handle);
+        ASSERT_NE(name, 0u);
+        EXPECT_EQ(jvm_->View(jvm_->ResolveRef(name)).data_word(0),
+                  tag * 1000003);
+      }
+    }
+  }
+
+  unsigned EvacWindows() const {
+    unsigned n = 0;
+    for (const gc::StwWindow& w : collector_->stw_windows()) {
+      if (w.phase == gc::ConcPhase::kEvacuate) ++n;
+    }
+    return n;
+  }
+
+ private:
+  SimBundle sim_;
+  std::unique_ptr<rt::Jvm> jvm_;
+  core::ConcurrentSvagcCollector* collector_ = nullptr;
+  std::vector<std::pair<rt::RootSet::Handle, std::uint64_t>> rooted_;
+};
+
+// kSwapVaFault mid-incremental-evacuation: the mover's per-object recovery
+// (finish the move by copy) must hold across window boundaries too.
+TEST_F(FaultInjectionTest, ConcurrentEvacuationRecoversFromSwapFault) {
+  ConcurrentFaultRig rig;
+  const std::uint64_t checksum = ChecksumReachable(rig.jvm());
+
+  verify::ScopedInjection hook(rig.kernel(), injector_);
+  injector_.Arm(sim::FaultPoint::kSwapVaFault, {.first = 0});
+  rig.DriveCycle();
+
+  EXPECT_EQ(injector_.fires(sim::FaultPoint::kSwapVaFault), 1u);
+  EXPECT_GE(rig.collector().MoveStats().swap_faults_recovered, 1u);
+  EXPECT_GE(rig.EvacWindows(), 2u);  // the fault really was mid-evacuation
+  EXPECT_EQ(ChecksumReachable(rig.jvm()), checksum);
+  const auto report = verify::InvariantRegistry::Default().RunAll(rig.jvm());
+  EXPECT_TRUE(report.ok) << report.Describe();
+}
+
+// kDropEpochBroadcast during incremental relink: every per-window multi-ASID
+// flush round is dropped; the collector must complete each window with the
+// ordinary per-process flush instead, and no stale translation may survive
+// into the mutator intervals between windows.
+TEST_F(FaultInjectionTest, ConcurrentRelinkSurvivesDroppedWindowFlush) {
+  ConcurrentFaultRig rig;
+  const std::uint64_t checksum = ChecksumReachable(rig.jvm());
+
+  verify::ScopedInjection hook(rig.kernel(), injector_);
+  injector_.Arm(sim::FaultPoint::kDropEpochBroadcast,
+                {.first = 0, .every = 1, .max_fires = 0});
+  rig.DriveCycle();
+
+  const std::uint64_t fires =
+      injector_.fires(sim::FaultPoint::kDropEpochBroadcast);
+  EXPECT_GE(fires, 2u);  // one per evacuation window, several windows
+  EXPECT_EQ(rig.collector().window_flush_fallbacks(), fires);
+  EXPECT_GE(rig.EvacWindows(), 2u);
+  EXPECT_EQ(ChecksumReachable(rig.jvm()), checksum);
+  const auto report = verify::InvariantRegistry::Default().RunAll(rig.jvm());
+  EXPECT_TRUE(report.ok) << report.Describe();
+}
+
+// kRefusePin at the first evacuation window: the whole incremental
+// evacuation falls back to per-call global shootdowns (no pin, no per-window
+// batched flushes) and still converges.
+TEST_F(FaultInjectionTest, ConcurrentEvacuationRefusedPinFallsBack) {
+  ConcurrentFaultRig rig;
+  const std::uint64_t checksum = ChecksumReachable(rig.jvm());
+
+  verify::ScopedInjection hook(rig.kernel(), injector_);
+  injector_.Arm(sim::FaultPoint::kRefusePin, {.first = 0});
+  rig.DriveCycle();
+
+  EXPECT_EQ(injector_.fires(sim::FaultPoint::kRefusePin), 1u);
+  EXPECT_EQ(rig.collector().pin_refusals(), 1u);
+  // Unpinned regime: the per-window batched flush path must not have run.
+  EXPECT_EQ(rig.collector().window_flush_fallbacks(), 0u);
+  EXPECT_EQ(ChecksumReachable(rig.jvm()), checksum);
+  const auto report = verify::InvariantRegistry::Default().RunAll(rig.jvm());
+  EXPECT_TRUE(report.ok) << report.Describe();
+}
+
+// The differential oracle in concurrent mode, with swap faults injected into
+// the compared (swap-arm) cycle only: recovery must converge to the very
+// heap the clean memmove arm produces — the strongest statement that the
+// fallback is semantics-preserving.
+TEST_F(FaultInjectionTest, ConcurrentOracleMatchesUnderInjectedSwapFaults) {
+  verify::OracleConfig config;
+  config.workload = "lrucache";
+  config.concurrent = true;
+  config.large_object_salt = 3;
+  config.swap_arm_fault_hook = &injector_;
+  injector_.Arm(sim::FaultPoint::kSwapVaFault,
+                {.first = 0, .every = 3, .max_fires = 0});
+  const verify::OracleResult result = verify::RunDifferentialOracle(config);
+
+  EXPECT_GE(injector_.fires(sim::FaultPoint::kSwapVaFault), 1u);
+  EXPECT_TRUE(result.match) << result.divergence;
+  EXPECT_GT(result.objects, 0u);
+  EXPECT_TRUE(result.invariants_swap.ok) << result.invariants_swap.Describe();
+  EXPECT_TRUE(result.invariants_copy.ok) << result.invariants_copy.Describe();
 }
 
 }  // namespace
