@@ -1,0 +1,177 @@
+// Fig. 23: far-memory tier — SwapVA relink vs memmove under overcommit.
+//
+// Setup: 2N small pages mapped, tagged, then a far tier attached with a
+// residency limit of r x 2N pages (r = 50/75/90%), so the coldest (1-r) x 2N
+// pages demote to the far swap area. Both arms then perform the same logical
+// GC move — exchange/copy region A (the first N pages) with region B:
+//
+//   swapva   SysSwapVa over the two regions. Swapped PTEs relink slot-index
+//            for frame (or slot for slot) inside the leaf exchange — ZERO
+//            far-tier traffic and zero faults, at every residency level.
+//            The harness hard-asserts both totals are exactly 0.
+//   memmove  CopyBytes of A over B. Every non-resident page faults through
+//            the userspace handler (fault entry + dispatch + far read) and,
+//            with the near tier at its limit, each fault first evicts a
+//            victim (far write) — the full far-tier freight.
+//
+// Both arms end with identical region contents (checked by reading every
+// page tag through the residency-independent raw path), so the cycle gap is
+// pure mechanism, not work avoided.
+//
+// Env knobs: SVAGC_FAR_TIER_RESIDENCY (pin one residency fraction),
+// SVAGC_FAR_TIER_PAGES (pin one per-region page count).
+#include "bench/bench_util.h"
+#include "simkernel/swapva.h"
+
+using namespace svagc;
+
+namespace {
+
+struct Arm {
+  double total = 0;
+  double far_cycles = 0;    // kFarRead + kFarWrite
+  double fault_cycles = 0;  // kFault (trap entry + LWT dispatch)
+  std::uint64_t relinks_swapped = 0;
+  std::uint64_t faults = 0;
+};
+
+struct Rig {
+  sim::Machine machine;
+  sim::Kernel kernel;
+  sim::PhysicalMemory phys;
+  sim::AddressSpace as;
+  sim::vaddr_t base;
+  std::uint64_t pages;  // per region; 2x pages are mapped
+
+  Rig(std::uint64_t n, double residency)
+      : machine(1, sim::ProfileXeonGold6130()),
+        kernel(machine),
+        phys((2 * n + 8) << sim::kPageShift),
+        as(machine, phys),
+        base(1ULL << 32),
+        pages(n) {
+    as.MapRange(base, (2 * n) << sim::kPageShift);
+    // Tag every page while all are resident: first word = page index.
+    for (std::uint64_t i = 0; i < 2 * n; ++i) {
+      as.WriteWord(base + (i << sim::kPageShift), 0xFA0000000000ULL + i);
+    }
+    sim::FarTierConfig tier;
+    tier.resident_limit_pages = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(static_cast<double>(2 * n) * residency));
+    // Setup-time demotions charge a scratch context, not the measured one.
+    sim::CpuContext setup_ctx(machine, 0);
+    as.EnableFarTier(kernel, setup_ctx, tier);
+  }
+
+  std::uint64_t Tag(std::uint64_t page_index) {
+    return as.ReadWord(base + (page_index << sim::kPageShift));
+  }
+};
+
+Arm Harvest(const sim::CpuContext& ctx, const Rig& rig) {
+  Arm arm;
+  arm.total = ctx.account.total();
+  arm.far_cycles = ctx.account.ByKind(sim::CostKind::kFarRead) +
+                   ctx.account.ByKind(sim::CostKind::kFarWrite);
+  arm.fault_cycles = ctx.account.ByKind(sim::CostKind::kFault);
+  arm.relinks_swapped = rig.kernel.relinks_swapped();
+  arm.faults = rig.as.far_tier()->faults();
+  return arm;
+}
+
+// SwapVA arm: one disjoint exchange of region A and region B.
+Arm RunSwapVa(std::uint64_t pages, double residency) {
+  Rig rig(pages, residency);
+  const sim::vaddr_t region_b = rig.base + (pages << sim::kPageShift);
+  sim::CpuContext ctx(rig.machine, 0);
+  rig.kernel.SysSwapVa(rig.as, ctx, rig.base, region_b, pages,
+                       sim::SwapVaOptions{});
+  // Contents exchanged — through swapped pages too (raw reads see the far
+  // tier): page i of A now carries B's tag and vice versa.
+  for (std::uint64_t i = 0; i < pages; ++i) {
+    SVAGC_CHECK(rig.Tag(i) == 0xFA0000000000ULL + pages + i);
+    SVAGC_CHECK(rig.Tag(pages + i) == 0xFA0000000000ULL + i);
+  }
+  return Harvest(ctx, rig);
+}
+
+// memmove arm: copy region A over region B (the GC-copy direction of the
+// same move), faulting both regions resident on the way.
+Arm RunMemmove(std::uint64_t pages, double residency) {
+  Rig rig(pages, residency);
+  const sim::vaddr_t region_b = rig.base + (pages << sim::kPageShift);
+  sim::CpuContext ctx(rig.machine, 0);
+  rig.as.CopyBytes(ctx, region_b, rig.base, pages << sim::kPageShift,
+                   sim::AddressSpace::CopyLocality::kCold);
+  for (std::uint64_t i = 0; i < pages; ++i) {
+    SVAGC_CHECK(rig.Tag(pages + i) == 0xFA0000000000ULL + i);
+  }
+  return Harvest(ctx, rig);
+}
+
+}  // namespace
+
+int main() {
+  const sim::CostProfile profile = sim::ProfileXeonGold6130();
+  std::printf("== Fig. 23: far-memory tier — SwapVA relink vs memmove ==\n");
+  bench::PrintProfileHeader(profile);
+  std::printf("far=%.2f/%.2f cyc/B fault=%.0f+%.0f cyc\n",
+              profile.far_read_per_byte, profile.far_write_per_byte,
+              profile.fault_entry, profile.fault_dispatch);
+
+  TablePrinter table({"resid/pages", "relinks", "swap far(kcyc)",
+                      "swap(kcyc)", "mm faults", "mm far(kcyc)", "mm(kcyc)",
+                      "mm/swap"});
+
+  // Env knobs: SVAGC_FAR_TIER_RESIDENCY pins the sweep to one near-tier
+  // fraction (0 < r < 1); SVAGC_FAR_TIER_PAGES pins the per-region size.
+  const double resid_override = bench::EnvDouble("SVAGC_FAR_TIER_RESIDENCY", 0);
+  const unsigned pages_override = bench::EnvUnsigned("SVAGC_FAR_TIER_PAGES", 0);
+  SVAGC_CHECK(resid_override == 0 ||
+              (resid_override > 0 && resid_override < 1));
+  std::vector<double> residencies = {0.50, 0.75, 0.90};
+  if (resid_override != 0) residencies = {resid_override};
+  std::vector<std::uint64_t> region_pages =
+      bench::SmokeSweep<std::uint64_t>({256, 1024, 4096});
+  if (pages_override != 0) region_pages = {pages_override};
+
+  for (const double residency : residencies) {
+    for (const std::uint64_t pages : region_pages) {
+      const Arm swap = RunSwapVa(pages, residency);
+      const Arm mm = RunMemmove(pages, residency);
+
+      // The headline acceptance: a SwapVA relink of swapped entries moves
+      // ZERO bytes across the tier boundary and never faults, while the
+      // memmove arm pays the full far freight at every residency level.
+      SVAGC_CHECK(swap.far_cycles == 0.0);
+      SVAGC_CHECK(swap.fault_cycles == 0.0);
+      SVAGC_CHECK(swap.faults == 0);
+      SVAGC_CHECK(swap.relinks_swapped > 0);
+      SVAGC_CHECK(mm.far_cycles > 0.0);
+      SVAGC_CHECK(mm.faults > 0);
+
+      table.AddRow({Format("%.0f%%/%llu", residency * 100,
+                           (unsigned long long)pages),
+                    Format("%llu", (unsigned long long)swap.relinks_swapped),
+                    Format("%.2f", swap.far_cycles / 1e3),
+                    Format("%.2f", swap.total / 1e3),
+                    Format("%llu", (unsigned long long)mm.faults),
+                    Format("%.2f", mm.far_cycles / 1e3),
+                    Format("%.2f", mm.total / 1e3),
+                    Format("%.1f", mm.total / swap.total)});
+    }
+  }
+  bench::Emit("fig23", table);
+
+  std::printf(
+      "swapped-entry relink: the leaf exchange carries the slot index with "
+      "the PTE word, so compaction relocates far-tier pages without a single "
+      "far-tier byte; the memmove arm pays fault entry + far read per "
+      "non-resident page and a far write per eviction\n");
+  std::printf(
+      "memmove faults saturate at the full page count whatever the "
+      "residency: a streaming copy over a range larger than the near tier "
+      "is the clock's worst case — every eviction lands on a page the copy "
+      "has not reached yet\n");
+  return 0;
+}

@@ -1,5 +1,7 @@
 #include "core/svagc_collector.h"
 
+#include "support/align.h"
+
 namespace svagc::core {
 
 SvagcCollector::SvagcCollector(sim::Machine& machine, unsigned gc_threads,
@@ -132,7 +134,6 @@ void SvagcCollector::CompactionPrologue(rt::Jvm& jvm, sim::CpuContext& ctx) {
 }
 
 void SvagcCollector::CompactionEpilogue(rt::Jvm& jvm, sim::CpuContext& ctx) {
-  (void)ctx;
   if (pinned_this_cycle_) {
     for (unsigned i = 0; i < gc_threads(); ++i) {
       jvm.kernel().SysUnpin(worker_ctx(i));
@@ -157,6 +158,21 @@ void SvagcCollector::CompactionEpilogue(rt::Jvm& jvm, sim::CpuContext& ctx) {
   const std::uint64_t moved_total = total.bytes_copied + total.bytes_swapped;
   last_cycle_moved_bytes_ = moved_total - prev_moved_total_;
   prev_moved_total_ = moved_total;
+
+  // GC-driven eviction advice: the dense prefix [heap base, comp_pnt) is
+  // exactly the span the plan refused to move, so it will not be touched by
+  // the next compaction either — demote it ahead of demand so mutator-hot
+  // pages keep the near tier.
+  if (config_.advise_cold_dense_prefix &&
+      jvm.address_space().far_tier() != nullptr) {
+    const std::uint64_t bytes =
+        AlignDown(last_plan_stats().dense_prefix_bytes, sim::kPageSize);
+    if (bytes > 0) {
+      const std::uint64_t demoted = jvm.kernel().SysMadviseCold(
+          jvm.address_space(), ctx, jvm.heap().base(), bytes);
+      reg.counter("gc.advised_cold_pages").Add(demoted);
+    }
+  }
 }
 
 }  // namespace svagc::core

@@ -37,6 +37,11 @@ struct SvagcConfig {
   // kGlobalPerCall = naive shootdown after every swap call
   bool pinned_compaction = true;
   std::uint64_t region_bytes = gc::kDefaultRegionBytes;
+  // With a far tier attached, the compaction epilogue advises the kernel
+  // that the plan's dense prefix is cold (SysMadviseCold): compaction never
+  // moves those objects again, so they are the cheapest pages to demote —
+  // and a later SwapVA relinks them without faulting them back in.
+  bool advise_cold_dense_prefix = false;
 };
 
 class SvagcCollector : public gc::ParallelLisp2 {

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "simkernel/page_table.h"
+#include "simkernel/swapva.h"
 #include "support/align.h"
 
 namespace svagc::sim {
@@ -28,6 +29,7 @@ void AddressSpace::MapRange(vaddr_t vaddr, std::uint64_t bytes) {
   const std::uint64_t vpn0 = vaddr >> kPageShift;
   for (std::uint64_t i = 0; i < pages; ++i) {
     table_->Map(vpn0 + i, phys_.AllocFrame());
+    if (far_tier_) far_tier_->NoteMapped(vpn0 + i);
   }
 }
 
@@ -59,8 +61,42 @@ void AddressSpace::UnmapRange(vaddr_t vaddr, std::uint64_t bytes) {
       }
       i += kPagesPerHuge;
     } else {
-      phys_.FreeFrame(table_->Unmap(vpn));
+      const Pte pte = table_->LookupPte(vpn);
+      const frame_t frame = table_->Unmap(vpn);
+      if (frame != kInvalidFrame) {
+        phys_.FreeFrame(frame);
+        if (far_tier_) far_tier_->NoteUnmapped(vpn);
+      } else {
+        // The page was swapped out: no frame to free, but its far slot
+        // must return to the allocator (the slot bijection invariant).
+        SVAGC_CHECK(pte.swapped() && far_tier_ != nullptr);
+        far_tier_->ReleaseSlot(pte.swap_slot());
+      }
       ++i;
+    }
+  }
+}
+
+void AddressSpace::EnableFarTier(Kernel& kernel, CpuContext& ctx,
+                                 const FarTierConfig& config) {
+  SVAGC_CHECK(far_tier_ == nullptr);
+  fault_kernel_ = &kernel;
+  far_tier_ =
+      std::make_unique<FarTier>(machine_, phys_, *table_, asid_, config);
+  // Enforce the limit now: the coldest pages (in clock-seed order — no
+  // access history exists yet) demote until the near tier fits.
+  far_tier_->SetResidentLimit(ctx, config.resident_limit_pages,
+                              kernel.fault_hook());
+}
+
+void AddressSpace::EnsureResident(CpuContext& ctx, vaddr_t vaddr,
+                                  std::uint64_t bytes) {
+  if (far_tier_ == nullptr || bytes == 0) return;
+  const std::uint64_t vpn0 = vaddr >> kPageShift;
+  const std::uint64_t vpn1 = (vaddr + bytes - 1) >> kPageShift;
+  for (std::uint64_t vpn = vpn0; vpn <= vpn1; ++vpn) {
+    if (table_->LookupPte(vpn).swapped()) {
+      fault_kernel_->SysHandleFault(*this, ctx, vpn << kPageShift);
     }
   }
 }
@@ -80,8 +116,15 @@ std::byte* AddressSpace::HwPtr(CpuContext& ctx, vaddr_t vaddr) {
                  *table_->Lookup(vpn) == frame);
   } else {
     Translation::HugeTranslation huge;
-    const auto walked =
+    auto walked =
         table_->HardwareWalk(vpn, ctx.account, machine_.cost(), &huge);
+    if (!walked.has_value() && far_tier_ != nullptr &&
+        table_->LookupPte(vpn).swapped()) {
+      // Swapped-out page: the walk misses by design. Trap to the userspace
+      // fault handler, which swaps the page in, then re-walk.
+      fault_kernel_->SysHandleFault(*this, ctx, vaddr);
+      walked = table_->HardwareWalk(vpn, ctx.account, machine_.cost(), &huge);
+    }
     SVAGC_CHECK(walked.has_value());
     frame = *walked;
     if (huge.huge) {
@@ -91,19 +134,72 @@ std::byte* AddressSpace::HwPtr(CpuContext& ctx, vaddr_t vaddr) {
       tlb.Insert(asid_, vpn, frame);
     }
   }
+  if (far_tier_ != nullptr) far_tier_->Touch(vpn);
   return phys_.FrameData(frame) + offset;
 }
 
 std::byte* AddressSpace::RawPtr(vaddr_t vaddr) const {
-  const auto frame = table_->Lookup(vaddr >> kPageShift);
+  const std::uint64_t vpn = vaddr >> kPageShift;
+  const auto frame = table_->Lookup(vpn);
+  if (!frame.has_value() && far_tier_ != nullptr) {
+    // Uncosted read-through to the far tier: harness-internal readers
+    // (heap digests, snapshot/restore, the verifier) observe identical
+    // bytes whether a page is resident or swapped — residency is a
+    // performance state, never a semantic one.
+    const Pte pte = table_->LookupPte(vpn);
+    if (pte.swapped()) {
+      return far_tier_->SlotBytes(pte.swap_slot()) + (vaddr & (kPageSize - 1));
+    }
+  }
   SVAGC_CHECK(frame.has_value());
   return const_cast<PhysicalMemory&>(phys_).FrameData(*frame) +
          (vaddr & (kPageSize - 1));
 }
 
+namespace {
+
+// Pins a byte range's pages for a scope (get_user_pages around a kernel
+// copy): a concurrent worker's fault-triggered eviction must not steal a
+// frame mid-copy — the tier's copy-out would race the copy's writes and
+// tear them. No-op without a far tier.
+class ScopedTierPin {
+ public:
+  ScopedTierPin(FarTier* tier, vaddr_t vaddr, std::uint64_t bytes)
+      : tier_(tier) {
+    if (tier_ == nullptr || bytes == 0) {
+      tier_ = nullptr;
+      return;
+    }
+    vpn_ = vaddr >> kPageShift;
+    pages_ = ((vaddr + bytes - 1) >> kPageShift) - vpn_ + 1;
+    tier_->PinRange(vpn_, pages_);
+  }
+  ~ScopedTierPin() {
+    if (tier_ != nullptr) tier_->UnpinRange(vpn_, pages_);
+  }
+  ScopedTierPin(const ScopedTierPin&) = delete;
+  ScopedTierPin& operator=(const ScopedTierPin&) = delete;
+
+ private:
+  FarTier* tier_;
+  std::uint64_t vpn_ = 0;
+  std::uint64_t pages_ = 0;
+};
+
+}  // namespace
+
 void AddressSpace::CopyBytes(CpuContext& ctx, vaddr_t dst, vaddr_t src,
                              std::uint64_t bytes, CopyLocality locality) {
   if (bytes == 0 || dst == src) return;
+  // Pin BEFORE faulting resident, so a page brought in for this copy cannot
+  // be re-evicted by a concurrent worker before (or while) its chunk moves.
+  ScopedTierPin pin_src(far_tier_.get(), src, bytes);
+  ScopedTierPin pin_dst(far_tier_.get(), dst, bytes);
+  // The copy path must pay the far-tier freight for any page it touches
+  // (fault + far read, plus an eviction's far write when over the limit) —
+  // the cost a SwapVA relink of a swapped entry never incurs.
+  EnsureResident(ctx, src, bytes);
+  EnsureResident(ctx, dst, bytes);
   // Modeled cost: streaming read + write at the profile's copy throughput,
   // inflated by bandwidth contention when many contexts copy concurrently.
   const CostProfile& cost = machine_.cost();
@@ -163,6 +259,8 @@ void AddressSpace::CopyBytes(CpuContext& ctx, vaddr_t dst, vaddr_t src,
 
 void AddressSpace::ZeroBytes(CpuContext& ctx, vaddr_t dst, std::uint64_t bytes) {
   if (bytes == 0) return;
+  ScopedTierPin pin_dst(far_tier_.get(), dst, bytes);
+  EnsureResident(ctx, dst, bytes);
   const CostProfile& cost = machine_.cost();
   // Zeroing streams half the traffic of a copy (write-only).
   ctx.account.Charge(CostKind::kAlloc,

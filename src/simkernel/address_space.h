@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "simkernel/config.h"
+#include "simkernel/far_memory.h"
 #include "simkernel/machine.h"
 #include "simkernel/phys_mem.h"
 #include "simkernel/trace.h"
@@ -18,6 +19,7 @@
 namespace svagc::sim {
 
 class PageTable;
+class Kernel;
 
 class AddressSpace {
  public:
@@ -113,12 +115,33 @@ class AddressSpace {
   void set_trace(MemTraceSink* sink) { trace_ = sink; }
   MemTraceSink* trace() const { return trace_; }
 
+  // --- Far-memory tier -------------------------------------------------------
+
+  // Attaches a far tier to this address space and immediately evicts down
+  // to the configured residency limit (charging `ctx` the far writes). The
+  // kernel reference is kept for the fault path: a hardware walk that meets
+  // a swapped PTE dispatches SysHandleFault and retries. Enable at most
+  // once, after the initial mappings exist; pages mapped later are tracked
+  // but the limit is only enforced on the fault path and on SysMadviseCold.
+  void EnableFarTier(Kernel& kernel, CpuContext& ctx,
+                     const FarTierConfig& config);
+  FarTier* far_tier() { return far_tier_.get(); }
+  const FarTier* far_tier() const { return far_tier_.get(); }
+
+  // Faults in every swapped page of [vaddr, vaddr+bytes) through the kernel
+  // fault path (charging fault + far-read + any eviction's far-write). The
+  // bulk paths call this so a memmove touching non-resident pages pays the
+  // full far-tier freight — exactly what a SwapVA relink avoids.
+  void EnsureResident(CpuContext& ctx, vaddr_t vaddr, std::uint64_t bytes);
+
  private:
   Machine& machine_;
   PhysicalMemory& phys_;
   const std::uint64_t asid_;  // before table_: the hashed backend seeds on it
   std::unique_ptr<Translation> table_;
   MemTraceSink* trace_ = nullptr;
+  std::unique_ptr<FarTier> far_tier_;
+  Kernel* fault_kernel_ = nullptr;  // set with far_tier_; owns the fault hook
 };
 
 }  // namespace svagc::sim

@@ -28,6 +28,12 @@ const char* CostKindName(CostKind kind) {
       return "compute";
     case CostKind::kAlloc:
       return "alloc";
+    case CostKind::kFarRead:
+      return "far_read";
+    case CostKind::kFarWrite:
+      return "far_write";
+    case CostKind::kFault:
+      return "fault";
     case CostKind::kNumKinds:
       break;
   }
@@ -62,6 +68,13 @@ const CostProfile& ProfileXeonGold6130() {
       // the hardware walker's refill.
       .hash_probe = 5,
       .swtlb_fill = 110,
+      // Far tier: ~3.1x/6.6x the DRAM per-byte cost for reads/writes
+      // (CXL-attached or Optane-class media), fault trap ~0.7 us plus a
+      // lightweight-thread dispatch.
+      .far_read_per_byte = 0.55,
+      .far_write_per_byte = 1.15,
+      .fault_entry = 1500,
+      .fault_dispatch = 350,
   };
   return profile;
 }
@@ -90,6 +103,10 @@ const CostProfile& ProfileXeonGold6240() {
       .saturation_streams = 4.0,
       .hash_probe = 6,
       .swtlb_fill = 125,
+      .far_read_per_byte = 0.60,
+      .far_write_per_byte = 1.25,
+      .fault_entry = 1700,
+      .fault_dispatch = 400,
   };
   return profile;
 }
@@ -117,6 +134,10 @@ const CostProfile& ProfileCorei5_7600() {
       .saturation_streams = 2.0,
       .hash_probe = 6,
       .swtlb_fill = 150,
+      .far_read_per_byte = 0.80,
+      .far_write_per_byte = 1.70,
+      .fault_entry = 1900,
+      .fault_dispatch = 450,
   };
   return profile;
 }

@@ -37,6 +37,9 @@ enum class CostKind : unsigned {
   kCopy,             // byte copying (memmove path)
   kCompute,          // mutator computation / GC per-object bookkeeping
   kAlloc,            // allocation-time initialization
+  kFarRead,          // far-tier (swap-area) read on swap-in
+  kFarWrite,         // far-tier write on swap-out (eviction)
+  kFault,            // page-fault entry + userspace handler dispatch
   kNumKinds,
 };
 
@@ -101,6 +104,16 @@ struct CostProfile {
   // the radix-era fields stay valid):
   double hash_probe;   // one bucket-chain node inspection
   double swtlb_fill;   // software-TLB miss trap entry/exit (excl. probes)
+
+  // Far-tier (swap-area) costs, appended for the same reason. The far tier
+  // is DRAM-resident for correctness but charged like a slower medium
+  // (CXL/NVM-class: ~3-5x DRAM latency per byte); fault_entry is the
+  // hardware fault + kernel trap round trip, fault_dispatch the handoff to
+  // the per-process lightweight-thread handler (userspace swap).
+  double far_read_per_byte;   // swap-in copy throughput from the far tier
+  double far_write_per_byte;  // swap-out copy throughput to the far tier
+  double fault_entry;         // page-fault trap entry + exit
+  double fault_dispatch;      // enqueue + context handoff to the LWT handler
 
   double CopyCyclesPerByte(std::uint64_t bytes) const {
     return static_cast<double>(bytes) <= llc_bytes ? copy_per_byte_cached

@@ -48,9 +48,20 @@ enum class FaultPoint {
   // syscall returns kFault, and the caller (the fleet arbiter) must fall
   // back to per-process SysFlushProcessTlbs broadcasts.
   kDropEpochBroadcast,
+  // The far-tier write of an eviction candidate's contents is lost before
+  // the PTE is flipped to swapped. Error-coded inside the tier: the
+  // eviction is aborted (page stays resident, the slot is returned to the
+  // free list) and the victim scan moves on — a swapped PTE never points at
+  // a slot whose write did not complete.
+  kSwapSlotWriteLost,
+  // The residency clock hands back a stale victim that a concurrent path
+  // already evicted (or unmapped). The tier detects the non-present PTE,
+  // skips the victim, and picks again — evicting "again" would corrupt the
+  // slot bijection.
+  kDoubleEvict,
 };
 
-inline constexpr std::size_t kNumFaultPoints = 7;
+inline constexpr std::size_t kNumFaultPoints = 9;
 
 inline const char* FaultPointName(FaultPoint point) {
   switch (point) {
@@ -68,6 +79,10 @@ inline const char* FaultPointName(FaultPoint point) {
       return "huge-swap-fault";
     case FaultPoint::kDropEpochBroadcast:
       return "drop-epoch-broadcast";
+    case FaultPoint::kSwapSlotWriteLost:
+      return "swap-slot-write-lost";
+    case FaultPoint::kDoubleEvict:
+      return "double-evict";
   }
   return "?";
 }

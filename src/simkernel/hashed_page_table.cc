@@ -132,8 +132,10 @@ void HashedPageTable::Map(std::uint64_t vpn, frame_t frame) {
 
 frame_t HashedPageTable::Unmap(std::uint64_t vpn) {
   Node* node = Remove(page_buckets_, vpn);
-  SVAGC_CHECK(node != nullptr && node->pte.present());
-  const frame_t frame = node->pte.frame();
+  SVAGC_CHECK(node != nullptr &&
+              (node->pte.present() || node->pte.swapped()));
+  const frame_t frame =
+      node->pte.present() ? node->pte.frame() : kInvalidFrame;
   delete node;  // mmap-time: no concurrent probe can still hold it
   --page_nodes_;
   --mapped_pages_;
@@ -169,11 +171,44 @@ std::optional<frame_t> HashedPageTable::LookupHuge(std::uint64_t vpn) const {
 }
 
 std::optional<frame_t> HashedPageTable::Lookup(std::uint64_t vpn) const {
-  if (const Node* node = Find(page_buckets_, vpn)) return node->pte.frame();
+  if (const Node* node = Find(page_buckets_, vpn)) {
+    // Swapped-out pages are non-present; the node persists so the swap-slot
+    // index travels with the vpn.
+    if (!node->pte.present()) return std::nullopt;
+    return node->pte.frame();
+  }
   if (const Node* node = Find(huge_buckets_, UnitOf(vpn))) {
     return node->pte.frame() + (vpn & kIndexMask);
   }
   return std::nullopt;
+}
+
+Pte HashedPageTable::LookupPte(std::uint64_t vpn) const {
+  if (const Node* node = Find(page_buckets_, vpn)) return node->pte;
+  if (const Node* node = Find(huge_buckets_, UnitOf(vpn))) {
+    // A huge-covered page is always resident; synthesize its slice.
+    return Pte::Make(node->pte.frame() + (vpn & kIndexMask));
+  }
+  return Pte::Empty();
+}
+
+Translation::PteRef HashedPageTable::LeafSlotRaw(std::uint64_t vpn) {
+  PteRef ref;
+  Node* node = Find(page_buckets_, vpn);
+  if (node == nullptr) return ref;  // unpopulated or huge-mapped
+  ref.slot = &node->pte;
+  const std::size_t bucket = HashKey(vpn) & (page_buckets_.size() - 1);
+  ref.lock = &StripeFor(bucket);
+  return ref;
+}
+
+void HashedPageTable::VisitSmallPages(
+    const std::function<void(std::uint64_t, Pte)>& fn) const {
+  for (const Node* head : page_buckets_) {
+    for (const Node* node = head; node != nullptr; node = node->next) {
+      if (node->pte.value != 0) fn(node->key, node->pte);
+    }
+  }
 }
 
 std::optional<frame_t> HashedPageTable::HardwareWalk(std::uint64_t vpn,
@@ -185,7 +220,9 @@ std::optional<frame_t> HashedPageTable::HardwareWalk(std::uint64_t vpn,
   acct.Charge(CostKind::kTlbRefill, cost.swtlb_fill);
   ctr_swtlb_fills_->Add();
   if (Node* node = FindCosted(page_buckets_, vpn, acct, cost)) {
-    SVAGC_DCHECK(node->pte.present());
+    // A swapped-out page has a node (carrying its slot index) but no
+    // translation: the fill handler reports a miss and the fault path runs.
+    if (!node->pte.present()) return std::nullopt;
     return node->pte.frame();
   }
   if (Node* node = FindCosted(huge_buckets_, UnitOf(vpn), acct, cost)) {

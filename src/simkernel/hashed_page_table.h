@@ -59,6 +59,11 @@ class HashedPageTable final : public Translation {
   std::optional<frame_t> Lookup(std::uint64_t vpn) const override;
   std::uint64_t mapped_pages() const override { return mapped_pages_; }
 
+  Pte LookupPte(std::uint64_t vpn) const override;
+  void VisitSmallPages(
+      const std::function<void(std::uint64_t, Pte)>& fn) const override;
+  PteRef LeafSlotRaw(std::uint64_t vpn) override;
+
   std::optional<frame_t> HardwareWalk(std::uint64_t vpn, CycleAccount& acct,
                                       const CostProfile& cost,
                                       HugeTranslation* huge = nullptr) override;

@@ -37,6 +37,16 @@ void Machine::SendTlbShootdown(CpuContext& ctx, std::uint64_t asid) {
   }
 }
 
+void Machine::FlushPageAllCores(CpuContext& ctx, std::uint64_t asid,
+                                std::uint64_t vpn) {
+  ctx.account.Charge(CostKind::kTlbFlushPage,
+                     profile_.tlb_flush_page * num_cores_);
+  metrics_.counter("tlb.page_flushes").Add(num_cores_);
+  for (unsigned core = 0; core < num_cores_; ++core) {
+    tlb(core).FlushPage(asid, vpn);
+  }
+}
+
 void Machine::SendTlbShootdownMulti(CpuContext& ctx,
                                     std::span<const std::uint64_t> asids) {
   if (asids.empty()) return;

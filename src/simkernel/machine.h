@@ -67,6 +67,15 @@ class Machine {
   // books ipi_handle cycles of disturbance on each target core.
   void SendTlbShootdown(CpuContext& ctx, std::uint64_t asid);
 
+  // Single-page invalidation on every core, for far-tier evictions: after a
+  // PTE flips to swapped, no TLB anywhere may keep the stale translation.
+  // Charges the caller one tlb_flush_page per core. Deliberately NOT an IPI
+  // round — evictions ride the fault path, not the SwapVA shootdown path,
+  // so the paper's Eq. 2 IPI accounting (IPIs are a SwapVA/fleet quantity)
+  // stays untouched; the modeled cost is the invlpg work itself.
+  void FlushPageAllCores(CpuContext& ctx, std::uint64_t asid,
+                         std::uint64_t vpn);
+
   // Batched cross-process round: one IPI per remote core covering every asid
   // in `asids` (the fleet arbiter's epoch flush). The interrupt cost is paid
   // once per target core — that is the whole point of batching — while each

@@ -66,8 +66,8 @@ frame_t PageTable::Unmap(std::uint64_t vpn) {
   PteTable* leaf = ResolveLeaf(vpn, /*create=*/false);
   SVAGC_CHECK(leaf != nullptr);
   Pte& pte = leaf->entries[PteIndex(vpn)];
-  SVAGC_CHECK(pte.present());
-  const frame_t frame = pte.frame();
+  SVAGC_CHECK(pte.present() || pte.swapped());
+  const frame_t frame = pte.present() ? pte.frame() : kInvalidFrame;
   pte = Pte::Empty();
   --mapped_pages_;
   return frame;
@@ -107,6 +107,26 @@ std::optional<frame_t> PageTable::Lookup(std::uint64_t vpn) const {
   const Pte pte = entry->table->entries[PteIndex(vpn)];
   if (!pte.present()) return std::nullopt;
   return pte.frame();
+}
+
+Pte PageTable::LookupPte(std::uint64_t vpn) const {
+  const PmdEntry* entry = ResolvePmdEntry(vpn, /*create=*/false);
+  if (entry == nullptr) return Pte::Empty();
+  if (entry->huge.present()) {
+    // A huge-covered page is always resident; synthesize its slice.
+    return Pte::Make(entry->huge.frame() + PteIndex(vpn));
+  }
+  if (!entry->table) return Pte::Empty();
+  return entry->table->entries[PteIndex(vpn)];
+}
+
+Translation::PteRef PageTable::LeafSlotRaw(std::uint64_t vpn) {
+  PteTable* leaf = ResolveLeaf(vpn, /*create=*/false);
+  PteRef ref;
+  if (leaf == nullptr) return ref;
+  ref.slot = &leaf->entries[PteIndex(vpn)];
+  ref.lock = &leaf->lock;
+  return ref;
 }
 
 PmdEntry* PageTable::WalkToPmdEntry(std::uint64_t vpn, CycleAccount& acct,
@@ -264,6 +284,36 @@ void ForEachPmdEntry(const PgdTable& pgd, F&& f) {
 }
 
 }  // namespace
+
+void PageTable::VisitSmallPages(
+    const std::function<void(std::uint64_t, Pte)>& fn) const {
+  for (std::uint64_t pgd_i = 0; pgd_i < kEntriesPerTable; ++pgd_i) {
+    const auto& p4d = pgd_->entries[pgd_i];
+    if (!p4d) continue;
+    for (std::uint64_t p4d_i = 0; p4d_i < kEntriesPerTable; ++p4d_i) {
+      const auto& pud = p4d->entries[p4d_i];
+      if (!pud) continue;
+      for (std::uint64_t pud_i = 0; pud_i < kEntriesPerTable; ++pud_i) {
+        const auto& pmd = pud->entries[pud_i];
+        if (!pmd) continue;
+        for (std::uint64_t pmd_i = 0; pmd_i < kEntriesPerTable; ++pmd_i) {
+          const PmdEntry& entry = pmd->entries[pmd_i];
+          if (!entry.table) continue;  // unpopulated or huge-mapped: skip
+          const std::uint64_t unit_vpn =
+              (((pgd_i * kEntriesPerTable + p4d_i) * kEntriesPerTable +
+                pud_i) *
+                   kEntriesPerTable +
+               pmd_i)
+              << kLevelBits;
+          for (std::uint64_t i = 0; i < kEntriesPerTable; ++i) {
+            const Pte pte = entry.table->entries[i];
+            if (pte.value != 0) fn(unit_vpn + i, pte);
+          }
+        }
+      }
+    }
+  }
+}
 
 std::uint64_t PageTable::CountAliasedPmdEntries() const {
   std::uint64_t aliased = 0;

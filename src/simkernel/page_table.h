@@ -66,7 +66,9 @@ class PageTable final : public Translation {
   // Establishes vpn -> frame. Creates intermediate tables on demand.
   void Map(std::uint64_t vpn, frame_t frame) override;
 
-  // Removes the mapping; returns the previously mapped frame.
+  // Removes the mapping; returns the previously mapped frame, or
+  // kInvalidFrame when the page was swapped out (the caller frees the swap
+  // slot instead of a frame).
   frame_t Unmap(std::uint64_t vpn) override;
 
   // Establishes a 2 MiB huge leaf. The unit must have neither a PteTable nor
@@ -82,6 +84,11 @@ class PageTable final : public Translation {
   std::optional<frame_t> Lookup(std::uint64_t vpn) const override;
 
   std::uint64_t mapped_pages() const override { return mapped_pages_; }
+
+  Pte LookupPte(std::uint64_t vpn) const override;
+  void VisitSmallPages(
+      const std::function<void(std::uint64_t, Pte)>& fn) const override;
+  PteRef LeafSlotRaw(std::uint64_t vpn) override;
 
   // Algorithm 1's GETPTE: walks the tree charging modeled cycles, locks the
   // leaf table and returns the PTE slot. `cache`, when non-null, implements

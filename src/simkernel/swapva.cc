@@ -168,11 +168,11 @@ void Kernel::SysUnpin(CpuContext& ctx) {
   ctx.pinned = false;
 }
 
-Translation::PteRef Kernel::LeafForPteSwap(Translation& table,
+Translation::PteRef Kernel::LeafForPteSwap(AddressSpace& as,
                                            std::uint64_t vpn, CpuContext& ctx,
                                            PmdCache* cache) {
-  Translation::PteRef ref =
-      table.LeafForPteSwap(vpn, ctx.account, machine_.cost(), cache);
+  Translation::PteRef ref = as.translation().LeafForPteSwap(
+      vpn, ctx.account, machine_.cost(), cache);
   if (ref.split_huge) {
     // THP-style demotion: the unit loses its huge leaf and gains 512 leaf
     // entries, all of which are real entry writes — charged identically
@@ -181,6 +181,9 @@ Translation::PteRef Kernel::LeafForPteSwap(Translation& table,
                        kEntriesPerTable * machine_.cost().pte_update);
     pmd_splits_.fetch_add(1, std::memory_order_relaxed);
     ctr_pmd_splits_.Add();
+    if (as.far_tier() != nullptr) {
+      as.far_tier()->NoteUnitSplit(vpn & ~kIndexMask);
+    }
   }
   SVAGC_CHECK(ref.slot != nullptr && ref.lock != nullptr);
   return ref;
@@ -239,11 +242,12 @@ SysStatus Kernel::SwapDisjoint(AddressSpace& as, CpuContext& ctx, vaddr_t a,
   }
 
   const std::uint64_t first_page = pmd_units * kPagesPerHuge;
+  std::uint64_t swapped_relinks = 0;
   for (std::uint64_t i = first_page; i < pages; ++i) {
     const std::uint64_t vpn_a = vpn_a0 + i;
     const std::uint64_t vpn_b = vpn_b0 + i;
-    const Translation::PteRef ref_a = LeafForPteSwap(table, vpn_a, ctx, pca);
-    const Translation::PteRef ref_b = LeafForPteSwap(table, vpn_b, ctx, pcb);
+    const Translation::PteRef ref_a = LeafForPteSwap(as, vpn_a, ctx, pca);
+    const Translation::PteRef ref_b = LeafForPteSwap(as, vpn_b, ctx, pcb);
     // pte_offset_map_lock on both PTEs; same-leaf pairs share one split-PTL
     // and cross-leaf pairs are locked in address order (deadlock-free
     // against concurrent GC workers — OrderLeafLocks asserts the ordering).
@@ -253,7 +257,14 @@ SysStatus Kernel::SwapDisjoint(AddressSpace& as, CpuContext& ctx, vaddr_t a,
     locks.first->lock();
     if (locks.second != nullptr) locks.second->lock();
 
-    SVAGC_CHECK(ref_a.slot->present() && ref_b.slot->present());
+    // Populated entries only — but a swapped-out entry is as swappable as a
+    // present one: the leaf word carries the slot index, so the exchange
+    // relinks the far-tier page with zero far-tier copy cycles (the
+    // headline win of the tier design).
+    SVAGC_CHECK(ref_a.slot->present() || ref_a.slot->swapped());
+    SVAGC_CHECK(ref_b.slot->present() || ref_b.slot->swapped());
+    if (ref_a.slot->swapped()) ++swapped_relinks;
+    if (ref_b.slot->swapped()) ++swapped_relinks;
     std::swap(ref_a.slot->value, ref_b.slot->value);
     ctx.account.Charge(CostKind::kPteUpdate, cost.pte_update);
 
@@ -275,6 +286,10 @@ SysStatus Kernel::SwapDisjoint(AddressSpace& as, CpuContext& ctx, vaddr_t a,
   if (tail_pages != 0) {
     pte_swaps_.fetch_add(tail_pages, std::memory_order_relaxed);
     ctr_pte_swaps_.Add(tail_pages);
+  }
+  if (swapped_relinks != 0) {
+    relinks_swapped_.fetch_add(swapped_relinks, std::memory_order_relaxed);
+    ctr_tier_relinks_.Add(swapped_relinks);
   }
   DrainPmdTally(pca);
   DrainPmdTally(pcb);
@@ -353,7 +368,7 @@ void Kernel::SwapOverlap(AddressSpace& as, CpuContext& ctx, vaddr_t lo,
   const std::uint64_t cycles = std::gcd(delta, pages);  // upCurIdx
 
   auto locked_pte_value = [&](std::uint64_t idx) -> Pte* {
-    const Translation::PteRef ref = LeafForPteSwap(table, vpn0 + idx, ctx, pc);
+    const Translation::PteRef ref = LeafForPteSwap(as, vpn0 + idx, ctx, pc);
     // pte_offset_map_lock; single-writer phase, lock pairs as in Alg. 1.
     ctx.account.Charge(CostKind::kPageWalk, cost.pte_access);
     ctx.account.Charge(CostKind::kPteLock, cost.pte_lock_pair);
@@ -366,6 +381,11 @@ void Kernel::SwapOverlap(AddressSpace& as, CpuContext& ctx, vaddr_t lo,
     local_tlb.FlushPage(as.asid(), vpn0 + idx);
   };
 
+  // A rotation moves leaf words whatever their residency state: swapped
+  // entries ride along carrying their slot index, relinking far-tier pages
+  // without any far-tier traffic. Tally one relink per swapped value
+  // installed at a new location.
+  std::uint64_t swapped_relinks = 0;
   for (std::uint64_t cur = 0; cur < cycles; ++cur) {
     Pte* pte_cur = locked_pte_value(cur);
     Pte temp = *pte_cur;
@@ -373,12 +393,14 @@ void Kernel::SwapOverlap(AddressSpace& as, CpuContext& ctx, vaddr_t lo,
     while (k != cur) {
       Pte* pte_k = locked_pte_value(k);
       const Pte k_temp = *pte_k;
+      if (temp.swapped()) ++swapped_relinks;
       *pte_k = temp;
       ctx.account.Charge(CostKind::kPteUpdate, cost.pte_update);
       flush_page(k);
       temp = k_temp;
       k = FindSwapPlace(k, delta, pages);
     }
+    if (temp.swapped()) ++swapped_relinks;
     *pte_cur = temp;
     ctx.account.Charge(CostKind::kPteUpdate, cost.pte_update);
     flush_page(cur);
@@ -387,7 +409,48 @@ void Kernel::SwapOverlap(AddressSpace& as, CpuContext& ctx, vaddr_t lo,
   ctr_pages_.Add(span);
   pte_swaps_.fetch_add(span, std::memory_order_relaxed);
   ctr_pte_swaps_.Add(span);
+  if (swapped_relinks != 0) {
+    relinks_swapped_.fetch_add(swapped_relinks, std::memory_order_relaxed);
+    ctr_tier_relinks_.Add(swapped_relinks);
+  }
   DrainPmdTally(pc);
+}
+
+void Kernel::SysHandleFault(AddressSpace& as, CpuContext& ctx, vaddr_t vaddr) {
+  FarTier* tier = as.far_tier();
+  SVAGC_CHECK(tier != nullptr);
+  tier->HandleFault(ctx, vaddr >> kPageShift, fault_hook_);
+}
+
+std::uint64_t Kernel::SysMadviseCold(AddressSpace& as, CpuContext& ctx,
+                                     vaddr_t vaddr, std::uint64_t bytes) {
+  ctx.account.Charge(CostKind::kSyscall, machine_.cost().syscall_entry);
+  ctr_madvise_cold_.Add();
+  FarTier* tier = as.far_tier();
+  if (tier == nullptr || bytes == 0) return 0;
+  SVAGC_CHECK(IsAligned(vaddr, kPageSize));
+  Translation& table = as.translation();
+  const std::uint64_t vpn0 = vaddr >> kPageShift;
+  // Only fully covered pages demote (madvise rounds inward).
+  const std::uint64_t pages = bytes >> kPageShift;
+  std::uint64_t demoted = 0;
+  for (std::uint64_t i = 0; i < pages; ++i) {
+    const std::uint64_t vpn = vpn0 + i;
+    // Huge-mapped units never enter the tier; LookupPte synthesizes a
+    // present entry for them, so check the unit class first.
+    if (table.LookupHuge(vpn).has_value()) continue;
+    if (!table.LookupPte(vpn).present()) continue;  // already cold or empty
+    if (tier->SwapOut(ctx, vpn, fault_hook_)) ++demoted;
+  }
+  return demoted;
+}
+
+void Kernel::SysSetResidencyLimit(AddressSpace& as, CpuContext& ctx,
+                                  std::uint64_t pages) {
+  ctx.account.Charge(CostKind::kSyscall, machine_.cost().syscall_entry);
+  FarTier* tier = as.far_tier();
+  SVAGC_CHECK(tier != nullptr);
+  tier->SetResidentLimit(ctx, pages, fault_hook_);
 }
 
 void Kernel::ApplyEndOfCallFlush(AddressSpace& as, CpuContext& ctx,

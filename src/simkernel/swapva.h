@@ -118,6 +118,10 @@ class Kernel {
         ctr_pmd_swaps_(machine.metrics().counter("swapva.pmd_swaps")),
         ctr_pmd_splits_(machine.metrics().counter("swapva.pmd_splits")),
         ctr_pte_swaps_(machine.metrics().counter("swapva.pte_swaps")),
+        ctr_tier_relinks_(
+            machine.metrics().counter("kernel.tier.relinks_swapped")),
+        ctr_madvise_cold_(
+            machine.metrics().counter("kernel.tier.madvise_cold")),
         hist_vec_len_(machine.metrics().histogram("swapva.vec_len")) {}
 
   Machine& machine() { return machine_; }
@@ -148,6 +152,31 @@ class Kernel {
   // caller must fall back to per-process SysFlushProcessTlbs.
   SysStatus SysFlushFleetTlbs(std::span<AddressSpace* const> spaces,
                               CpuContext& ctx);
+
+  // --- Far-memory tier syscalls --------------------------------------------
+
+  // The userspace fault path: invoked by the address-space walk when a
+  // translation meets a swapped PTE. Charges the trap + lightweight-thread
+  // dispatch (fault_entry/fault_dispatch — no syscall_entry: faults are
+  // exceptions, not syscalls) and delegates to the per-process handler,
+  // which swaps the page in, evicting first when the residency limit is
+  // reached. Aborts when the address space has no far tier (a swapped PTE
+  // cannot exist without one).
+  void SysHandleFault(AddressSpace& as, CpuContext& ctx, vaddr_t vaddr);
+
+  // madvise(MADV_COLD/MADV_PAGEOUT)-style demotion hint: demotes every
+  // resident 4 KiB-mapped page of [vaddr, vaddr+bytes) to the far tier.
+  // Huge-mapped units are skipped (their 2 MiB reach defeats per-page
+  // eviction, and the PMD fast path must stay a pure entry exchange).
+  // Returns the number of pages demoted; 0 without a far tier. The GC's
+  // cold-page advice (the compaction plan's dense prefix) lands here.
+  std::uint64_t SysMadviseCold(AddressSpace& as, CpuContext& ctx,
+                               vaddr_t vaddr, std::uint64_t bytes);
+
+  // Raises or lowers the far tier's residency limit, evicting down to the
+  // new limit before returning (cgroup memory.high semantics).
+  void SysSetResidencyLimit(AddressSpace& as, CpuContext& ctx,
+                            std::uint64_t pages);
 
   // sched_setaffinity-style pin/unpin. In the simulation pinning is a
   // correctness *declaration*: the caller promises all its translations
@@ -183,6 +212,12 @@ class Kernel {
   std::uint64_t pte_swaps() const {
     return pte_swaps_.load(std::memory_order_relaxed);
   }
+  // Swapped-out entries relinked by the swap paths without faulting them in
+  // — the far-tier headline: each of these moved a cold page for zero
+  // far-tier copy cycles.
+  std::uint64_t relinks_swapped() const {
+    return relinks_swapped_.load(std::memory_order_relaxed);
+  }
 
  private:
   // Algorithm 1: disjoint ranges, pairwise PTE exchange — plus the PMD
@@ -200,8 +235,11 @@ class Kernel {
 
   // Resolves the leaf slot for a PTE-granularity swap through the backend,
   // charging the 512 entry writes (and swapva.pmd_splits) when a covering
-  // huge leaf was demoted on the way (THP-style split).
-  Translation::PteRef LeafForPteSwap(Translation& table, std::uint64_t vpn,
+  // huge leaf was demoted on the way (THP-style split). A split also tells
+  // the far tier (when one is attached) that the unit's 512 pages are now
+  // individually resident; no leaf lock is held at that point, so the
+  // tier-lock -> leaf-lock order is preserved.
+  Translation::PteRef LeafForPteSwap(AddressSpace& as, std::uint64_t vpn,
                                      CpuContext& ctx, PmdCache* cache);
 
   void ApplyEndOfCallFlush(AddressSpace& as, CpuContext& ctx,
@@ -231,6 +269,7 @@ class Kernel {
   std::atomic<std::uint64_t> pmd_swaps_{0};
   std::atomic<std::uint64_t> pmd_splits_{0};
   std::atomic<std::uint64_t> pte_swaps_{0};
+  std::atomic<std::uint64_t> relinks_swapped_{0};
   telemetry::Counter& ctr_calls_;
   telemetry::Counter& ctr_pages_;
   telemetry::Counter& ctr_pin_calls_;
@@ -244,6 +283,8 @@ class Kernel {
   telemetry::Counter& ctr_pmd_swaps_;
   telemetry::Counter& ctr_pmd_splits_;
   telemetry::Counter& ctr_pte_swaps_;
+  telemetry::Counter& ctr_tier_relinks_;
+  telemetry::Counter& ctr_madvise_cold_;
   telemetry::Histogram& hist_vec_len_;
 };
 

@@ -29,6 +29,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 
@@ -44,6 +45,17 @@ namespace svagc::sim {
 // indices into PhysicalMemory, not physical addresses, so no flag bits
 // beyond `present` are needed. Both backends store the same leaf word, which
 // is what lets the kernel swap values without knowing the container.
+//
+// Far-tier extension (SUSTechOS-style swap encoding): a non-present entry
+// whose low two bits are 0b10 is *swapped* — the page's contents live in
+// far-tier swap slot (value >> 2). Empty stays all-zero, so the three
+// states are disjoint:
+//   value == 0            empty (never mapped / unmapped)
+//   value & 1             present, frame = value >> 1
+//   (value & 3) == 2      swapped, slot = value >> 2
+// Because both backends store this one leaf word, SwapVA can exchange a
+// swapped entry with any other entry — the slot index travels with the
+// virtual page, no far-tier copy needed.
 struct Pte {
   std::uint64_t value = 0;
 
@@ -52,7 +64,13 @@ struct Pte {
     SVAGC_DCHECK(present());
     return value >> 1;
   }
+  bool swapped() const { return (value & 3) == 2; }
+  std::uint64_t swap_slot() const {
+    SVAGC_DCHECK(swapped());
+    return value >> 2;
+  }
   static Pte Make(frame_t frame) { return Pte{(frame << 1) | 1}; }
+  static Pte MakeSwapped(std::uint64_t slot) { return Pte{(slot << 2) | 2}; }
   static Pte Empty() { return Pte{0}; }
 };
 
@@ -139,10 +157,23 @@ class Translation {
   // not huge-mapped (unpopulated or split to 4 KiB granularity).
   virtual std::optional<frame_t> LookupHuge(std::uint64_t vpn) const = 0;
   // Read-only lookup resolving through both granularities; nullopt when the
-  // page is not present. Thread-safe against concurrent leaf *value* updates
-  // (the swap paths) because leaf storage is never freed while mapped.
+  // page is not present (including swapped-out pages). Thread-safe against
+  // concurrent leaf *value* updates (the swap paths) because leaf storage is
+  // never freed while mapped.
   virtual std::optional<frame_t> Lookup(std::uint64_t vpn) const = 0;
+  // Raw leaf word for vpn: present, swapped, or Empty() when unpopulated.
+  // Pages covered by a huge leaf report a synthesized present entry for
+  // their slice of the unit (huge units never enter the far tier). Uncosted;
+  // the fault path and the tier invariants read residency through this.
+  virtual Pte LookupPte(std::uint64_t vpn) const = 0;
   virtual std::uint64_t mapped_pages() const = 0;
+  // Visits every populated 4 KiB-granularity leaf entry (present or
+  // swapped), skipping huge-mapped units. Enumeration order is
+  // deterministic per backend but unspecified across backends; callers that
+  // need cross-backend determinism must sort. Uncosted; used to seed the
+  // far tier's residency clock and by the tier-residency invariant.
+  virtual void VisitSmallPages(
+      const std::function<void(std::uint64_t vpn, Pte pte)>& fn) const = 0;
 
   // --- TLB refill -------------------------------------------------------------
 
@@ -178,6 +209,15 @@ class Translation {
   // probes, `cache` ignored). Demotes a covering huge leaf first.
   virtual PteRef LeafForPteSwap(std::uint64_t vpn, CycleAccount& acct,
                                 const CostProfile& cost, PmdCache* cache) = 0;
+
+  // Uncosted resolution of a 4 KiB leaf slot plus its guarding lock, for the
+  // far-tier fault/eviction paths (which charge the tier's own fault/copy
+  // constants rather than per-structure access costs). Never splits a huge
+  // leaf: returns {nullptr, nullptr} when the page has no 4 KiB-granularity
+  // entry (unpopulated or huge-mapped — huge units never enter the far
+  // tier). The caller flips present<->swapped under the returned lock, which
+  // is the same lock the SwapVA paths hold while exchanging leaf words.
+  virtual PteRef LeafSlotRaw(std::uint64_t vpn) = 0;
 
   // --- 2 MiB-unit swapping ----------------------------------------------------
 

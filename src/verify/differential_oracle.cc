@@ -321,6 +321,19 @@ OracleResult RunDifferentialOracle(const OracleConfig& config) {
   jvm_config.name = "oracle:" + info.name;
   rt::Jvm jvm(machine, phys, kernel, jvm_config);
 
+  if (config.far_residency < 1.0) {
+    SVAGC_CHECK(config.far_residency > 0.0);
+    const std::uint64_t heap_pages = heap_bytes >> sim::kPageShift;
+    sim::FarTierConfig tier;
+    tier.resident_limit_pages = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(static_cast<double>(heap_pages) *
+                                      config.far_residency));
+    // The enable-time evictions charge a scratch context; the compared
+    // cycles' accounts stay clean.
+    sim::CpuContext tier_ctx(machine, /*core_id=*/0);
+    jvm.address_space().EnableFarTier(kernel, tier_ctx, tier);
+  }
+
   // Warmup under the real collector (Setup/Iterate may trigger cycles).
   jvm.set_collector(MakeArmCollector(config, machine, /*use_swapva=*/true));
   workload->Setup(jvm);

@@ -121,6 +121,14 @@ struct OracleConfig {
   // can prove the recovery paths converge to the very same heap the clean
   // memmove arm produces.
   sim::FaultHook* swap_arm_fault_hook = nullptr;
+
+  // Near-tier residency as a fraction of the heap's pages. Below 1.0 the
+  // oracle attaches a far tier sized to that fraction before warmup, so
+  // BOTH arms run overcommitted: the swap arm relinks swapped entries in
+  // place while the memmove arm faults them through the near tier — and the
+  // digests must still match exactly (residency is never semantic). 1.0 =
+  // no far tier (the historical shape).
+  double far_residency = 1.0;
 };
 
 struct OracleResult {

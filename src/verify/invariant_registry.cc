@@ -1,5 +1,7 @@
 #include "verify/invariant_registry.h"
 
+#include <unordered_set>
+
 #include "runtime/jvm.h"
 #include "support/table.h"
 
@@ -51,6 +53,60 @@ rt::VerifyResult CheckHugeMappingConsistency(rt::Jvm& jvm) {
   return result;
 }
 
+rt::VerifyResult CheckTierResidency(rt::Jvm& jvm) {
+  rt::VerifyResult result;
+  const sim::FarTier* tier = jvm.address_space().far_tier();
+  if (tier == nullptr) return result;
+  const sim::Translation& table = jvm.address_space().translation();
+  std::unordered_set<std::uint64_t> seen_slots;
+  std::uint64_t swapped = 0;
+  std::uint64_t resident = 0;
+  table.VisitSmallPages([&](std::uint64_t vpn, sim::Pte pte) {
+    if (!result.ok) return;
+    if (pte.present()) {
+      ++resident;
+      return;
+    }
+    if (!pte.swapped()) return;
+    ++swapped;
+    const std::uint64_t slot = pte.swap_slot();
+    if (!tier->SlotAllocated(slot)) {
+      result.ok = false;
+      result.error = Format(
+          "vpn 0x%llx is swapped to slot %llu but the slot is not allocated",
+          (unsigned long long)vpn, (unsigned long long)slot);
+      return;
+    }
+    if (!seen_slots.insert(slot).second) {
+      result.ok = false;
+      result.error =
+          Format("swap slot %llu is referenced by more than one PTE "
+                 "(second: vpn 0x%llx)",
+                 (unsigned long long)slot, (unsigned long long)vpn);
+    }
+  });
+  if (!result.ok) return result;
+  if (swapped != tier->used_slots()) {
+    result.ok = false;
+    result.error = Format(
+        "%llu swapped PTEs but %llu allocated swap slots (leak or "
+        "double-free)",
+        (unsigned long long)swapped, (unsigned long long)tier->used_slots());
+    return result;
+  }
+  if (resident != tier->resident_pages()) {
+    result.ok = false;
+    result.error = Format(
+        "%llu present small-page PTEs but the tier counts %llu resident",
+        (unsigned long long)resident,
+        (unsigned long long)tier->resident_pages());
+  }
+  // No check against resident_limit(): the limit is enforced lazily (on the
+  // fault path, SysMadviseCold and SysSetResidencyLimit), so huge-leaf
+  // splits and post-enable mappings legitimately exceed it in between.
+  return result;
+}
+
 std::string InvariantReport::Describe() const {
   if (ok) return Format("all %llu invariants ok", (unsigned long long)checks_run);
   std::string out;
@@ -68,6 +124,7 @@ InvariantRegistry InvariantRegistry::Default() {
   registry.Register("reference-validity", rt::CheckReferences);
   registry.Register("tlb-coherence", CheckTlbCoherence);
   registry.Register("huge-mapping-consistency", CheckHugeMappingConsistency);
+  registry.Register("tier-residency", CheckTierResidency);
   return registry;
 }
 

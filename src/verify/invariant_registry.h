@@ -32,6 +32,12 @@ rt::VerifyResult CheckTlbCoherence(rt::Jvm& jvm);
 // botched split or a half-applied PMD exchange would leave behind.
 rt::VerifyResult CheckHugeMappingConsistency(rt::Jvm& jvm);
 
+// Tier residency / slot bijection: with a far tier attached, every swapped
+// PTE names a live swap slot, no two PTEs share a slot, and the number of
+// swapped PTEs equals the allocator's used-slot count (no leaked and no
+// double-freed slots). Trivially ok when the address space has no far tier.
+rt::VerifyResult CheckTierResidency(rt::Jvm& jvm);
+
 struct InvariantFailure {
   std::string name;
   std::string error;

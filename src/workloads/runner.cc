@@ -32,6 +32,7 @@ std::unique_ptr<rt::CollectorIface> MakeCollector(CollectorKind kind,
                                                   unsigned first_core) {
   core::SvagcConfig svagc;
   svagc.move.threshold_pages = config.swap_threshold_pages;
+  svagc.advise_cold_dense_prefix = config.advise_cold_dense_prefix;
   std::unique_ptr<rt::CollectorIface> collector;
   switch (kind) {
     case CollectorKind::kSvagc:
@@ -78,7 +79,12 @@ std::unique_ptr<rt::CollectorIface> MakeCollector(CollectorKind kind,
   if (auto* lisp2 = dynamic_cast<gc::ParallelLisp2*>(collector.get())) {
     lisp2->set_forwarding_mode(config.forwarding);
     lisp2->set_compaction_scheduler(config.compaction_scheduler);
-    lisp2->set_plan_optimizer(config.plan_optimizer);
+    gc::PlanOptimizerConfig optimizer = config.plan_optimizer;
+    // Cold advice names the compaction plan's dense prefix; without the
+    // dense-prefix elision pass no prefix exists to advise, so the knob
+    // implies it.
+    if (config.advise_cold_dense_prefix) optimizer.dense_prefix = true;
+    lisp2->set_plan_optimizer(optimizer);
   }
   return collector;
 }
@@ -120,6 +126,17 @@ TenantBundle MakeTenant(const RunConfig& config, sim::Machine& machine,
     bundle.jvm->set_gc_barrier(barrier);
   }
   bundle.jvm->address_space().set_trace(config.trace);
+  if (config.far_residency < 1.0) {
+    SVAGC_CHECK(config.far_residency > 0.0);
+    const std::uint64_t heap_pages =
+        bundle.jvm->heap().capacity() >> sim::kPageShift;
+    sim::FarTierConfig tier;
+    tier.resident_limit_pages = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(static_cast<double>(heap_pages) *
+                                      config.far_residency));
+    sim::CpuContext tier_ctx(machine, mutator_core);
+    bundle.jvm->address_space().EnableFarTier(kernel, tier_ctx, tier);
+  }
   bundle.mutator_core = mutator_core;
   return bundle;
 }
@@ -151,6 +168,14 @@ RunResult HarvestTenant(const RunConfig& config, sim::Machine& machine,
 
   result.alignment_waste_bytes = jvm.heap().alignment_waste_bytes();
   result.physical_bytes_written = jvm.address_space().phys().bytes_written();
+
+  if (const sim::FarTier* tier = jvm.address_space().far_tier()) {
+    result.tier_faults = tier->faults();
+    result.tier_swapins = tier->swapins();
+    result.tier_evictions = tier->evictions();
+    result.tier_far_bytes_written = tier->far_bytes_written();
+    result.tier_relinks_swapped = jvm.kernel().relinks_swapped();
+  }
 
   // Single source of truth: when telemetry is compiled in, the reported
   // counters come from the registries (which mirror the legacy fields — the

@@ -60,6 +60,19 @@ struct RunConfig {
   // no per-harness code.
   telemetry::TraceRecorder* trace_recorder = nullptr;
   bool verify_heap = false;  // run the full heap verifier after the run
+
+  // Overcommit pressure mode: near-tier residency as a fraction of the
+  // tenant's heap pages. Below 1.0 each tenant gets a far tier sized to
+  // that fraction right after construction, so mutator and GC run against
+  // a heap that does not fit in DRAM (faults, evictions, and — under
+  // SVAGC — swapped-entry relinks all exercised). 1.0 = no far tier.
+  double far_residency = 1.0;
+  // With a far tier: the SVAGC compaction epilogue advises the dense
+  // prefix cold (SysMadviseCold) so demand faults fall on mutator-hot pages
+  // less often. Implies plan_optimizer.dense_prefix (no prefix exists to
+  // advise without the elision pass). Ignored by non-SVAGC collectors and
+  // without a far tier.
+  bool advise_cold_dense_prefix = false;
 };
 
 struct RunResult {
@@ -102,6 +115,15 @@ struct RunResult {
   std::uint64_t heap_bytes = 0;
   std::uint64_t alignment_waste_bytes = 0;  // paper bound: < 5% of heap
   std::uint64_t physical_bytes_written = 0;  // NVM-wear proxy (section VI)
+
+  // Far-tier traffic (zero without a far tier). Readable in
+  // SVAGC_TELEMETRY=OFF builds — these come from the tier's plain tallies,
+  // not the metrics registry.
+  std::uint64_t tier_faults = 0;
+  std::uint64_t tier_swapins = 0;
+  std::uint64_t tier_evictions = 0;
+  std::uint64_t tier_far_bytes_written = 0;
+  std::uint64_t tier_relinks_swapped = 0;  // SwapVA relinks of swapped PTEs
 
   // Name-ordered counter snapshots from the telemetry registries (empty in
   // SVAGC_TELEMETRY=OFF builds): machine-side (IPIs, TLB, SwapVA, PMD cache)

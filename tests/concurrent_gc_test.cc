@@ -20,7 +20,9 @@
 //   5. The fleet arbiter consumes the concurrent collector unchanged.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -373,7 +375,13 @@ TEST(ConcurrentFleet, RunsUnderArbiter) {
 // --- soak: heavier sweep, same invariants (ctest target `concurrent_soak`) ---
 
 TEST(ConcurrentSoak, ExtendedScheduleSweep) {
-  constexpr std::uint64_t kSeeds = 40;
+  // SVAGC_SOAK_SCALE multiplies the seed count (nightly CI runs 10x).
+  const char* scale_env = std::getenv("SVAGC_SOAK_SCALE");
+  const std::uint64_t scale =
+      scale_env != nullptr && scale_env[0] != '\0'
+          ? std::strtoull(scale_env, nullptr, 10)
+          : 1;
+  const std::uint64_t kSeeds = 40 * std::max<std::uint64_t>(1, scale);
   std::uint64_t satb_checks = 0;
   std::uint64_t cycles = 0;
   for (ScheduleShape shape : AllShapes()) {

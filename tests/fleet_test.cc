@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
@@ -249,15 +250,22 @@ TEST(FleetDifferential, SwapVaMatchesMemmoveAcrossFourTenants) {
 // 16 tenants, batching + admission + budget, heap verifier on: the CI
 // fleet_soak entry runs this under tsan.
 TEST(FleetSoak, SixteenTenants) {
+  // SVAGC_SOAK_SCALE multiplies the iteration count (nightly CI runs 10x).
+  const char* scale_env = std::getenv("SVAGC_SOAK_SCALE");
+  const unsigned scale = scale_env != nullptr && scale_env[0] != '\0'
+                             ? static_cast<unsigned>(
+                                   std::strtoul(scale_env, nullptr, 10))
+                             : 1;
+  const unsigned iterations = 10 * std::max(1u, scale);
   fleet::FleetConfig config =
       BaseFleet(16, fleet::ArbiterBatchAdmission(2, /*budget=*/0.5e6),
-                /*iterations=*/10);
+                iterations);
   config.slo_budget_ms = 0.25;
   config.run.verify_heap = true;
   const auto result = fleet::RunFleet(config);
   EXPECT_EQ(result.tenants.size(), 16u);
   for (const auto& r : result.tenants) {
-    EXPECT_EQ(r.iterations, 10u);
+    EXPECT_EQ(r.iterations, iterations);
     EXPECT_GE(r.gc_count, 1u);
   }
   EXPECT_GT(result.epochs, 0u);
