@@ -48,6 +48,19 @@ def parse_number(cell):
         return None
 
 
+def row_key(row):
+    """A row is keyed by its leading run of non-numeric label cells: the
+    sweep variable plus any qualifier columns (a bench arm, a phase class).
+    Tables whose rows carry a single label column keep their old first-cell
+    key; tables that sweep a cross product stay unambiguous."""
+    parts = [row[0]]
+    for cell in row[1:]:
+        if parse_number(cell) is not None:
+            break
+        parts.append(cell)
+    return " | ".join(parts)
+
+
 def run_bench(bench_dir, name):
     env = dict(os.environ)
     env["SVAGC_BENCH_SMOKE"] = "1"
@@ -86,10 +99,9 @@ def compare(name, baseline_tables, current_tables, tolerance, failures):
                 f"{base['headers']} -> {cur['headers']} (re-baseline needed)"
             )
             continue
-        # Rows are keyed by their first cell (the sweep variable).
-        cur_rows = {row[0]: row for row in cur["rows"]}
+        cur_rows = {row_key(row): row for row in cur["rows"]}
         for base_row in base["rows"]:
-            key = base_row[0]
+            key = row_key(base_row)
             cur_row = cur_rows.get(key)
             if cur_row is None:
                 failures.append(

@@ -263,6 +263,8 @@ int main(int argc, char** argv) {
       "fig20_fleet_arbiter",
       "fig21_translation_backends",
       "fig22_concurrent_pause",
+      "fig23_far_tier",
+      "fig24_generational",
       "tab02_config",
       "tab03_cache_dtlb",
       "ablation_minor_copy",

@@ -13,10 +13,15 @@
 //     independent call, as concurrent collectors do; aggregation therefore
 //     does not apply (Table I row 3), which the ablation bench quantifies.
 //
-// It is deliberately a *primitive*, not a full generational collector: the
-// runtime has no write barriers, so a remembered set cannot be maintained
-// honestly. The evacuator takes the survivor list from the caller (tests
-// and benches compute it from the roots), which is the part SwapVA touches.
+// It is deliberately a *primitive*, not a full generational collector. The
+// evacuator takes the survivor list from the caller, which is the part
+// SwapVA touches. The real generational front end lives in
+// core/generational_collector.{h,cc}: it maintains a remembered set
+// honestly through the rt::GcBarrier write barrier (old→young stores land
+// in per-thread store buffers, drained at minor-GC start), traces
+// survivors from roots + remembered set, and feeds them through this
+// evacuator's kMinorBatch path. Tests and benches still drive the
+// primitive directly to isolate Table I rows 2-3.
 #pragma once
 
 #include <cstdint>

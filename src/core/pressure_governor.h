@@ -1,0 +1,132 @@
+// SWAM-style pressure-driven GC triggering (PAPERS.md): instead of running
+// a full collection only when the heap is full, the governor watches memory
+// pressure signals after every minor collection and *escalates* to a full
+// SVAGC cycle when the old generation or the far tier is heading for
+// trouble:
+//
+//   * old-space occupancy        — the classic "old gen is filling" trigger;
+//   * old-space occupancy slope  — occupancy rising fast across the last N
+//                                  minors (catches promotion storms before
+//                                  the absolute trigger fires);
+//   * promotion rate             — bytes tenured per minor relative to the
+//                                  nursery size (a nursery that mostly
+//                                  promotes is not paying for itself);
+//   * far-tier residency         — resident pages vs the limit installed by
+//                                  Kernel::SysSetResidencyLimit; compacting
+//                                  early frees cold pages before the tier
+//                                  starts thrashing (kernel.tier.* counters).
+//
+// Minor collections themselves are triggered by zone exhaustion in the
+// allocation front end; the governor only decides minor -> full escalation.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "support/check.h"
+
+namespace svagc::core {
+
+struct PressureConfig {
+  // Escalate when old-space occupancy (used/capacity, nursery excluded)
+  // reaches this fraction. Escalation replaces the exhaustion full that
+  // would otherwise follow — it must fire close enough to "full" that it
+  // does not meaningfully shrink the old-space garbage window, or the
+  // governor *adds* collections instead of moving them earlier.
+  double old_occupancy_trigger = 0.85;
+  // Escalate when occupancy grew by at least slope_trigger across the last
+  // slope_window minors *and* occupancy is already past the slope floor.
+  // The thresholds are sized for promotion storms (a nursery suddenly
+  // tenuring wholesale), well above the steady drip of long-lived objects
+  // aging out — that drip is what the occupancy trigger is for.
+  unsigned slope_window = 4;
+  double slope_trigger = 0.15;
+  double slope_floor = 0.65;
+  // Escalate when promoted bytes per minor exceed this fraction of the
+  // nursery extent.
+  double promotion_rate_trigger = 0.50;
+  // Escalate when the far tier holds at least this fraction of its
+  // residency limit (0 disables; no-op when no limit is installed).
+  double far_residency_trigger = 0.90;
+  // Hysteresis: at least this many minors between governor-driven fulls.
+  unsigned min_minors_between_full = 4;
+};
+
+class PressureGovernor {
+ public:
+  struct Sample {
+    double old_occupancy = 0;            // old used / old capacity
+    std::uint64_t promoted_bytes = 0;    // tenured by this minor
+    std::uint64_t young_extent_bytes = 0;
+    std::uint64_t far_resident_pages = 0;
+    std::uint64_t far_resident_limit = 0;  // 0 = unlimited / no far tier
+  };
+
+  explicit PressureGovernor(const PressureConfig& config) : config_(config) {
+    SVAGC_CHECK(config.slope_window >= 1);
+  }
+
+  const PressureConfig& config() const { return config_; }
+
+  // Feed one post-minor sample; returns true when the collector should
+  // escalate to a full cycle. `last_reason()` names the winning signal.
+  bool ShouldEscalate(const Sample& sample) {
+    history_.push_back(sample.old_occupancy);
+    while (history_.size() > config_.slope_window + 1) history_.pop_front();
+    ++minors_since_full_;
+    if (minors_since_full_ < config_.min_minors_between_full) return false;
+
+    if (sample.old_occupancy >= config_.old_occupancy_trigger)
+      return Fire(&occupancy_escalations_, "old-occupancy");
+    if (history_.size() == config_.slope_window + 1 &&
+        sample.old_occupancy >= config_.slope_floor &&
+        sample.old_occupancy - history_.front() >= config_.slope_trigger)
+      return Fire(&slope_escalations_, "occupancy-slope");
+    if (sample.young_extent_bytes != 0 &&
+        static_cast<double>(sample.promoted_bytes) >=
+            config_.promotion_rate_trigger *
+                static_cast<double>(sample.young_extent_bytes))
+      return Fire(&promotion_escalations_, "promotion-rate");
+    if (config_.far_residency_trigger > 0 && sample.far_resident_limit != 0 &&
+        static_cast<double>(sample.far_resident_pages) >=
+            config_.far_residency_trigger *
+                static_cast<double>(sample.far_resident_limit))
+      return Fire(&far_escalations_, "far-residency");
+    return false;
+  }
+
+  // Any full collection (governor-driven or allocation-driven) resets the
+  // slope window and the hysteresis clock.
+  void NoteFullGc() {
+    history_.clear();
+    minors_since_full_ = 0;
+  }
+
+  const char* last_reason() const { return last_reason_; }
+  std::uint64_t occupancy_escalations() const { return occupancy_escalations_; }
+  std::uint64_t slope_escalations() const { return slope_escalations_; }
+  std::uint64_t promotion_escalations() const { return promotion_escalations_; }
+  std::uint64_t far_escalations() const { return far_escalations_; }
+  std::uint64_t total_escalations() const {
+    return occupancy_escalations_ + slope_escalations_ +
+           promotion_escalations_ + far_escalations_;
+  }
+
+ private:
+  bool Fire(std::uint64_t* counter, const char* reason) {
+    ++*counter;
+    last_reason_ = reason;
+    return true;
+  }
+
+  PressureConfig config_;
+  std::deque<double> history_;  // occupancy after each minor, newest last
+  unsigned minors_since_full_ = 0;
+  const char* last_reason_ = "none";
+  std::uint64_t occupancy_escalations_ = 0;
+  std::uint64_t slope_escalations_ = 0;
+  std::uint64_t promotion_escalations_ = 0;
+  std::uint64_t far_escalations_ = 0;
+};
+
+}  // namespace svagc::core

@@ -1,0 +1,37 @@
+// Allocation front end: the seam through which a generational collector
+// interposes on object allocation. The default runtime path (TLAB bump +
+// full collection on exhaustion) stays untouched when no front end is
+// installed; a generational collector implements this interface to route
+// small objects into per-thread nursery zones, medium objects into their
+// own page-aligned young regions, and large objects straight into the old
+// space — running minor collections (and escalating to full ones) on its
+// own triggers instead of heap-full.
+//
+// Ownership mirrors rt::GcBarrier: the front end object is owned by the
+// collector; Jvm holds a non-owning pointer that set_collector() clears so
+// a stale front end never outlives the collector that backs it.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/object.h"
+
+namespace svagc::rt {
+
+class Jvm;
+
+class AllocFrontEnd {
+ public:
+  virtual ~AllocFrontEnd() = default;
+
+  // Returns the address of a fresh, uninitialized extent of `bytes` for a
+  // new object allocated by `logical_thread`. The front end runs whatever
+  // collections it needs (minor, then full) to satisfy the request and
+  // aborts on genuine OOM, exactly like the default Jvm::New path. A return
+  // of 0 means the front end declines the request and the caller falls back
+  // to the default TLAB path.
+  virtual vaddr_t AllocateObject(Jvm& jvm, std::uint64_t bytes,
+                                 unsigned logical_thread) = 0;
+};
+
+}  // namespace svagc::rt

@@ -40,7 +40,11 @@ vaddr_t Jvm::New(std::uint32_t type_id, std::uint32_t num_refs,
   const std::uint64_t bytes = ObjectBytes(num_refs, data_bytes);
   MutatorContext& mutator = this->mutator(logical_thread);
 
-  vaddr_t addr = TryAllocate(bytes, mutator);
+  vaddr_t addr = 0;
+  if (front_end_ != nullptr) {
+    addr = front_end_->AllocateObject(*this, bytes, logical_thread);
+  }
+  if (addr == 0) addr = TryAllocate(bytes, mutator);
   if (addr == 0) {
     // Allocation failure: stop the world and run a full collection. TLABs
     // must be retired first so the heap is linearly parsable.

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/alloc_front_end.h"
 #include "runtime/gc_barrier.h"
 #include "runtime/heap.h"
 #include "runtime/object.h"
@@ -117,10 +118,11 @@ class Jvm {
   const JvmConfig& config() const { return config_; }
 
   void set_collector(std::unique_ptr<CollectorIface> collector) {
-    // The outgoing collector owned any installed barrier; never let a stale
-    // barrier pointer outlive it (the differential oracle swaps collectors
-    // under a live Jvm).
+    // The outgoing collector owned any installed barrier or allocation
+    // front end; never let a stale pointer outlive it (the differential
+    // oracle swaps collectors under a live Jvm).
     barrier_ = nullptr;
+    front_end_ = nullptr;
     collector_ = std::move(collector);
   }
   CollectorIface& collector() {
@@ -149,6 +151,13 @@ class Jvm {
   // operations; a concurrent collector interposes via set_gc_barrier.
   void set_gc_barrier(GcBarrier* barrier) { barrier_ = barrier; }
   GcBarrier* gc_barrier() const { return barrier_; }
+
+  // Allocation front end (generational nursery); owned by the collector
+  // like the barrier, cleared by set_collector.
+  void set_alloc_front_end(AllocFrontEnd* front_end) {
+    front_end_ = front_end;
+  }
+  AllocFrontEnd* alloc_front_end() const { return front_end_; }
 
   vaddr_t ReadRef(vaddr_t obj, std::uint32_t slot,
                   unsigned logical_thread = 0) {
@@ -192,6 +201,9 @@ class Jvm {
   }
 
   std::uint64_t gc_count() const { return gc_count_; }
+  // Collector-triggered collections (the front end bypasses New's
+  // allocation-failure path, so it reports its own full GCs here).
+  void NoteCollectorTriggeredGc() { ++gc_count_; }
 
   // Retires all TLABs (a GC prologue step: parsable-heap guarantee).
   void RetireAllTlabs();
@@ -208,6 +220,7 @@ class Jvm {
   std::vector<std::unique_ptr<MutatorContext>> mutators_;
   std::unique_ptr<CollectorIface> collector_;
   GcBarrier* barrier_ = nullptr;  // owned by the collector; see set_collector
+  AllocFrontEnd* front_end_ = nullptr;  // likewise owned by the collector
   std::uint64_t gc_count_ = 0;
 };
 

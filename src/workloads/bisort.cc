@@ -31,7 +31,7 @@ class BisortWorkload final : public TableWorkload {
   void Setup(rt::Jvm& jvm) override {
     table_ = jvm.roots().Add(AllocRefTable(jvm, 1, 0));
     const rt::vaddr_t root = BuildSubtree(jvm, kNodes);
-    jvm.View(jvm.roots().Get(table_)).set_ref(0, root);
+    jvm.WriteRef(jvm.roots().Get(table_), 0, root);
   }
 
   void Iterate(rt::Jvm& jvm) override {
@@ -47,7 +47,7 @@ class BisortWorkload final : public TableWorkload {
       if (child == 0) break;
       parent = child;
     }
-    jvm.View(parent).set_ref(rng_.NextBelow(2) ? 1 : 0, fresh);
+    jvm.WriteRef(parent, rng_.NextBelow(2) ? 1 : 0, fresh);
   }
 
  private:
@@ -69,17 +69,18 @@ class BisortWorkload final : public TableWorkload {
     auto combine = [&]() {
       // Merge the two topmost (equal-height) forest roots under a parent.
       const rt::vaddr_t parent = new_node();
-      rt::ObjectView scratch_view = jvm.View(jvm.roots().Get(scratch));
-      rt::ObjectView parent_view = jvm.View(parent);
+      const rt::vaddr_t scratch_addr = jvm.roots().Get(scratch);
+      rt::ObjectView scratch_view = jvm.View(scratch_addr);
       const std::size_t top = heights.size() - 1;
-      parent_view.set_ref(0, scratch_view.ref(static_cast<std::uint32_t>(top)));
-      parent_view.set_ref(1,
-                          scratch_view.ref(static_cast<std::uint32_t>(top - 1)));
-      scratch_view.set_ref(static_cast<std::uint32_t>(top), 0);
+      jvm.WriteRef(parent, 0, scratch_view.ref(static_cast<std::uint32_t>(top)));
+      jvm.WriteRef(parent, 1,
+                   scratch_view.ref(static_cast<std::uint32_t>(top - 1)));
+      jvm.WriteRef(scratch_addr, static_cast<std::uint32_t>(top), 0);
       const unsigned h = heights.back();
       heights.pop_back();
       heights.pop_back();
-      scratch_view.set_ref(static_cast<std::uint32_t>(heights.size()), parent);
+      jvm.WriteRef(scratch_addr, static_cast<std::uint32_t>(heights.size()),
+                   parent);
       heights.push_back(h + 1);
     };
 
@@ -87,8 +88,8 @@ class BisortWorkload final : public TableWorkload {
     while (built < count) {
       const rt::vaddr_t leaf = new_node();
       ++built;
-      jvm.View(jvm.roots().Get(scratch))
-          .set_ref(static_cast<std::uint32_t>(heights.size()), leaf);
+      jvm.WriteRef(jvm.roots().Get(scratch),
+                   static_cast<std::uint32_t>(heights.size()), leaf);
       heights.push_back(0);
       while (built < count && heights.size() >= 2 &&
              heights[heights.size() - 1] == heights[heights.size() - 2]) {

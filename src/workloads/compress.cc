@@ -33,7 +33,7 @@ class CompressWorkload final : public TableWorkload {
     // Slot 0: dictionary; slots 1..kRing: output ring.
     table_ = jvm.roots().Add(AllocRefTable(jvm, kRing + 1, 0));
     const rt::vaddr_t dict = AllocDataArray(jvm, kDictionaryBytes, 0);
-    jvm.View(jvm.roots().Get(table_)).set_ref(0, dict);
+    jvm.WriteRef(jvm.roots().Get(table_), 0, dict);
   }
 
   void Iterate(rt::Jvm& jvm) override {
@@ -49,7 +49,7 @@ class CompressWorkload final : public TableWorkload {
       const rt::vaddr_t output = AllocDataArray(jvm, kOutputBytes, t);
       StreamOverObject(jvm, t, output, 0.3, true);
       // Retain in the ring (the displaced output and the input die).
-      jvm.View(jvm.roots().Get(table_)).set_ref(1 + ring_pos_, output);
+      jvm.WriteRef(jvm.roots().Get(table_), 1 + ring_pos_, output);
       ring_pos_ = (ring_pos_ + 1) % kRing;
     }
   }

@@ -30,7 +30,7 @@ class CryptoAesWorkload final : public TableWorkload {
     for (unsigned i = 0; i < kLiveBuffers; ++i) {
       const rt::vaddr_t buffer =
           AllocDataArray(jvm, kBufferBytes, NextThread(jvm));
-      jvm.View(jvm.roots().Get(table_)).set_ref(i, buffer);
+      jvm.WriteRef(jvm.roots().Get(table_), i, buffer);
     }
   }
 
@@ -45,7 +45,7 @@ class CryptoAesWorkload final : public TableWorkload {
       StreamOverObject(jvm, t, table.ref(i), 3.5, false);
     }
     StreamOverObject(jvm, t, ciphertext, 3.5, true);
-    jvm.View(jvm.roots().Get(table_)).set_ref(i, ciphertext);
+    jvm.WriteRef(jvm.roots().Get(table_), i, ciphertext);
   }
 };
 

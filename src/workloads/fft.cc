@@ -39,11 +39,11 @@ class FftWorkload final : public TableWorkload {
           AllocDataArray(jvm, kChunkBytes, NextThread(jvm));
       // Allocation may have triggered a GC that moved the table: re-fetch
       // through the root before every dereference.
-      jvm.View(jvm.roots().Get(table_)).set_ref(i, chunk);
+      jvm.WriteRef(jvm.roots().Get(table_), i, chunk);
     }
     // Twiddle-factor table, read-only thereafter.
     const rt::vaddr_t twiddles = AllocDataArray(jvm, kChunkBytes / 2, 0);
-    jvm.View(jvm.roots().Get(table_)).set_ref(num_chunks_, twiddles);
+    jvm.WriteRef(jvm.roots().Get(table_), num_chunks_, twiddles);
   }
 
   void Iterate(rt::Jvm& jvm) override {
@@ -64,9 +64,10 @@ class FftWorkload final : public TableWorkload {
       const unsigned i =
           static_cast<unsigned>(rng_.NextBelow(num_chunks_));
       const rt::vaddr_t fresh = AllocDataArray(jvm, kChunkBytes, t);
-      table = jvm.View(jvm.roots().Get(table_));  // GC may have run
       StreamOverObject(jvm, t, fresh, 0.35, true);
-      table.set_ref(i, fresh);
+      // Allocation may have triggered a GC that moved the table: re-fetch
+      // through the root.
+      jvm.WriteRef(jvm.roots().Get(table_), i, fresh);
     }
   }
 

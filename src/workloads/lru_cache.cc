@@ -60,7 +60,7 @@ class LruCacheWorkload final : public TableWorkload {
   void Put(rt::Jvm& jvm, unsigned slot) {
     const std::uint64_t bytes = rng_.NextInRange(1, kMaxValueBytes);
     const rt::vaddr_t value = AllocDataArray(jvm, bytes, 0);
-    jvm.View(jvm.roots().Get(table_)).set_ref(slot, value);
+    jvm.WriteRef(jvm.roots().Get(table_), slot, value);
     StreamOverObject(jvm, 0, value, 0.2, true);
     stamps_[slot] = ++clock_;
   }

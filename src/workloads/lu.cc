@@ -29,7 +29,7 @@ class LuWorkload final : public TableWorkload {
     for (unsigned i = 0; i < kPanels; ++i) {
       const rt::vaddr_t panel =
           AllocDataArray(jvm, kPanelBytes, NextThread(jvm));
-      jvm.View(jvm.roots().Get(table_)).set_ref(i, panel);
+      jvm.WriteRef(jvm.roots().Get(table_), i, panel);
     }
   }
 
@@ -52,7 +52,7 @@ class LuWorkload final : public TableWorkload {
       const unsigned t = NextThread(jvm);
       const unsigned i = static_cast<unsigned>(rng_.NextBelow(kPanels));
       const rt::vaddr_t panel = AllocDataArray(jvm, kPanelBytes, t);
-      jvm.View(jvm.roots().Get(table_)).set_ref(i, panel);
+      jvm.WriteRef(jvm.roots().Get(table_), i, panel);
       StreamOverObject(jvm, t, panel, 0.4, true);
     }
   }

@@ -37,11 +37,11 @@ class PageRankWorkload final : public TableWorkload {
     table_ = jvm.roots().Add(AllocRefTable(jvm, kChunks + 3, 0));
     for (unsigned c = 0; c < kChunks; ++c) {
       const rt::vaddr_t chunk = NewAdjacencyChunk(jvm);
-      jvm.View(jvm.roots().Get(table_)).set_ref(c, chunk);
+      jvm.WriteRef(jvm.roots().Get(table_), c, chunk);
     }
     for (unsigned v = 0; v < 3; ++v) {
       const rt::vaddr_t vec = AllocDataArray(jvm, kRankBytes, 0);
-      jvm.View(jvm.roots().Get(table_)).set_ref(kChunks + v, vec);
+      jvm.WriteRef(jvm.roots().Get(table_), kChunks + v, vec);
     }
   }
 
@@ -50,7 +50,7 @@ class PageRankWorkload final : public TableWorkload {
     // freshly allocated rank vector (the Spark immutable-RDD pattern: every
     // superstep's output is a new allocation).
     const rt::vaddr_t next_ranks = AllocDataArray(jvm, kRankBytes, 0);
-    jvm.View(jvm.roots().Get(table_)).set_ref(kChunks + 1, next_ranks);
+    jvm.WriteRef(jvm.roots().Get(table_), kChunks + 1, next_ranks);
     {
       rt::ObjectView table = jvm.View(jvm.roots().Get(table_));
       for (unsigned c = 0; c < kChunks; ++c) {
@@ -60,13 +60,13 @@ class PageRankWorkload final : public TableWorkload {
         StreamOverObject(jvm, t, table.ref(kChunks + 1), 0.2, true);
       }
       // Rotate: next becomes current.
-      table.set_ref(kChunks, table.ref(kChunks + 1));
+      jvm.WriteRef(jvm.roots().Get(table_), kChunks, table.ref(kChunks + 1));
     }
     // Graph mutation: a few adjacency chunks are rebuilt.
     for (unsigned r = 0; r < kChunks / 16; ++r) {
       const unsigned c = static_cast<unsigned>(rng_.NextBelow(kChunks));
       const rt::vaddr_t chunk = NewAdjacencyChunk(jvm);
-      jvm.View(jvm.roots().Get(table_)).set_ref(c, chunk);
+      jvm.WriteRef(jvm.roots().Get(table_), c, chunk);
     }
   }
 

@@ -31,7 +31,7 @@ class ParallelSortWorkload final : public TableWorkload {
     table_ = jvm.roots().Add(AllocRefTable(jvm, kChunks, 0));
     for (unsigned c = 0; c < kChunks; ++c) {
       const rt::vaddr_t chunk = AllocDataArray(jvm, kChunkBytes, NextThread(jvm));
-      jvm.View(jvm.roots().Get(table_)).set_ref(c, chunk);
+      jvm.WriteRef(jvm.roots().Get(table_), c, chunk);
       FillRandom(jvm, chunk);
     }
   }
@@ -57,9 +57,9 @@ class ParallelSortWorkload final : public TableWorkload {
       StreamOverObject(jvm, t, table.ref(b), 0.2, false);
     }
     StreamOverObject(jvm, t, merged, 0.25, true);
-    jvm.View(jvm.roots().Get(table_)).set_ref(a, merged);
+    jvm.WriteRef(jvm.roots().Get(table_), a, merged);
     const rt::vaddr_t fresh_run = AllocDataArray(jvm, kChunkBytes, t);
-    jvm.View(jvm.roots().Get(table_)).set_ref(b, fresh_run);
+    jvm.WriteRef(jvm.roots().Get(table_), b, fresh_run);
     FillRandom(jvm, fresh_run);
   }
 

@@ -1,6 +1,7 @@
 #include "workloads/runner.h"
 
 #include "core/concurrent_svagc_collector.h"
+#include "core/generational_collector.h"
 #include "gc/lisp2.h"
 #include "gc/parallel_gc.h"
 #include "gc/shenandoah_gc.h"
@@ -86,6 +87,29 @@ std::unique_ptr<rt::CollectorIface> MakeCollector(CollectorKind kind,
     if (config.advise_cold_dense_prefix) optimizer.dense_prefix = true;
     lisp2->set_plan_optimizer(optimizer);
   }
+  if (config.generational.enabled) {
+    // The concurrent collector owns the barrier slot; SerialLisp2 is not a
+    // ParallelLisp2. Everything else (SVAGC variants, ParallelGC-like,
+    // Shenandoah-like) wraps cleanly.
+    SVAGC_CHECK(kind != CollectorKind::kConcurrentSvagc);
+    auto* lisp2 = dynamic_cast<gc::ParallelLisp2*>(collector.get());
+    SVAGC_CHECK(lisp2 != nullptr);
+    collector.release();
+    std::unique_ptr<gc::ParallelLisp2> inner(lisp2);
+    core::GenerationalConfig gen;
+    gen.young_bytes = config.generational.young_bytes;
+    gen.young_fraction = config.generational.young_fraction;
+    gen.young.zone_bytes = config.generational.zone_bytes;
+    gen.bypass_bytes = config.generational.bypass_bytes;
+    gen.tenure_age = config.generational.tenure_age;
+    gen.pressure_enabled = config.generational.pressure;
+    gen.verify_remset = config.generational.verify_remset;
+    gen.gang_workers = config.gc_threads;
+    gen.move.threshold_pages = config.swap_threshold_pages;
+    gen.move.use_swapva = kind != CollectorKind::kSvagcNoSwap;
+    collector = std::make_unique<core::GenerationalCollector>(
+        machine, first_core, std::move(inner), gen);
+  }
   return collector;
 }
 
@@ -121,9 +145,15 @@ TenantBundle MakeTenant(const RunConfig& config, sim::Machine& machine,
       MakeCollector(config.collector, machine, config, gc_first_core));
   // A concurrent collector is also the mutators' barrier: wire it so the
   // workloads' barriered accessors route through it from the first cycle.
+  // The generational front end is both a barrier (remembered set) and an
+  // allocation front end (nursery).
   if (auto* barrier =
           dynamic_cast<rt::GcBarrier*>(&bundle.jvm->collector())) {
     bundle.jvm->set_gc_barrier(barrier);
+  }
+  if (auto* front_end =
+          dynamic_cast<rt::AllocFrontEnd*>(&bundle.jvm->collector())) {
+    bundle.jvm->set_alloc_front_end(front_end);
   }
   bundle.jvm->address_space().set_trace(config.trace);
   if (config.far_residency < 1.0) {
@@ -152,6 +182,14 @@ RunResult HarvestTenant(const RunConfig& config, sim::Machine& machine,
 
   rt::GcLog& log = jvm.collector().log();
   result.gc_count = log.collections;
+  if (auto* gen = dynamic_cast<core::GenerationalCollector*>(&jvm.collector())) {
+    result.gc_full_count = gen->full_collections();
+    result.gc_minor_count = gen->minor_collections();
+    result.promoted_bytes = gen->promoted_bytes();
+    result.premature_tenures = gen->premature_tenures();
+  } else {
+    result.gc_full_count = result.gc_count;
+  }
   result.gc_total_cycles = log.pauses.total();
   result.gc_avg_cycles = log.pauses.mean();
   result.gc_max_cycles = log.pauses.max();
@@ -233,7 +271,8 @@ const char* CollectorKindName(CollectorKind kind) {
 RunResult RunWorkload(const RunConfig& config) {
   const sim::CostProfile& profile =
       config.profile != nullptr ? *config.profile : sim::ProfileXeonGold6130();
-  sim::Machine machine(config.machine_cores, profile);
+  sim::Machine machine(config.machine_cores, profile,
+                       config.translation_backend);
   sim::Kernel kernel(machine);
   machine.set_tracer(config.trace_recorder != nullptr
                          ? config.trace_recorder
@@ -263,7 +302,8 @@ std::vector<RunResult> RunMultiJvm(const RunConfig& config, unsigned num_jvms) {
   SVAGC_CHECK(num_jvms >= 1);
   const sim::CostProfile& profile =
       config.profile != nullptr ? *config.profile : sim::ProfileXeonGold6130();
-  sim::Machine machine(config.machine_cores, profile);
+  sim::Machine machine(config.machine_cores, profile,
+                       config.translation_backend);
   sim::Kernel kernel(machine);
   machine.set_tracer(config.trace_recorder != nullptr
                          ? config.trace_recorder

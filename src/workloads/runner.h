@@ -11,6 +11,7 @@
 #include "core/svagc_collector.h"
 #include "simkernel/cost_model.h"
 #include "simkernel/trace.h"
+#include "simkernel/translation.h"
 #include "telemetry/trace_recorder.h"
 #include "workloads/workload.h"
 
@@ -73,6 +74,27 @@ struct RunConfig {
   // advise without the elision pass). Ignored by non-SVAGC collectors and
   // without a far tier.
   bool advise_cold_dense_prefix = false;
+
+  // Page-table backend for the whole machine (the generational digest tests
+  // run both; every pre-existing figure keeps the radix default).
+  sim::TranslationBackend translation_backend = sim::TranslationBackend::kRadix;
+
+  // Generational front end (ROADMAP item 4): wraps the configured STW
+  // LISP2-family collector in a zone-per-thread nursery with remembered-set
+  // minor GC and SWAM-style pressure escalation. Incompatible with
+  // kConcurrentSvagc and kSerialLisp2 (the former owns the barrier slot,
+  // the latter is not a phase engine).
+  struct GenerationalOptions {
+    bool enabled = false;
+    std::uint64_t young_bytes = 0;   // nursery target; 0 = auto (fraction)
+    double young_fraction = 0.65;    // auto target: fraction of free heap
+    std::uint64_t zone_bytes = 256ULL << 10;   // per-thread zone cap
+    std::uint64_t bypass_bytes = 512ULL << 10;  // straight to old space
+    unsigned tenure_age = 6;     // minors survived before promotion
+    bool pressure = true;        // SWAM-style minor→full escalation
+    bool verify_remset = false;  // per-minor superset oracle (tests)
+  };
+  GenerationalOptions generational;
 };
 
 struct RunResult {
@@ -80,7 +102,13 @@ struct RunResult {
   std::string collector_name;
   unsigned iterations = 0;
 
-  std::uint64_t gc_count = 0;
+  std::uint64_t gc_count = 0;  // all collections (minor + full)
+  // Generational split: without a front end gc_full_count == gc_count and
+  // the rest stay zero.
+  std::uint64_t gc_full_count = 0;
+  std::uint64_t gc_minor_count = 0;
+  std::uint64_t promoted_bytes = 0;      // bytes tenured by minor GCs
+  std::uint64_t premature_tenures = 0;   // tenured only because young filled
   double gc_total_cycles = 0;
   double gc_avg_cycles = 0;
   double gc_max_cycles = 0;

@@ -39,12 +39,12 @@ class SigverifyWorkload final : public TableWorkload {
     // message is rooted through the table *before* the signature
     // allocation, which may trigger a GC that moves it.
     const rt::vaddr_t message = AllocDataArray(jvm, message_bytes_, t);
-    jvm.View(jvm.roots().Get(table_)).set_ref(2 * slot_, message);
+    jvm.WriteRef(jvm.roots().Get(table_), 2 * slot_, message);
     StreamOverObject(jvm, t, message, 0.5, true);   // generate
     StreamOverObject(jvm, t, message, 0.8, false);  // SHA pass
     const rt::vaddr_t signature = AllocDataArray(jvm, 512, t);
     StreamOverObject(jvm, t, signature, 2.0, true);  // RSA-ish
-    jvm.View(jvm.roots().Get(table_)).set_ref(2 * slot_ + 1, signature);
+    jvm.WriteRef(jvm.roots().Get(table_), 2 * slot_ + 1, signature);
     // Verify the oldest retained pair.
     const unsigned oldest = (slot_ + 1) % kRetained;
     {

@@ -30,7 +30,7 @@ class SorWorkload final : public TableWorkload {
     for (unsigned i = 0; i < num_bands_; ++i) {
       const rt::vaddr_t band =
           AllocDataArray(jvm, band_bytes_, NextThread(jvm));
-      jvm.View(jvm.roots().Get(table_)).set_ref(i, band);
+      jvm.WriteRef(jvm.roots().Get(table_), i, band);
     }
   }
 
@@ -52,7 +52,7 @@ class SorWorkload final : public TableWorkload {
       const unsigned t = NextThread(jvm);
       const unsigned i = static_cast<unsigned>(rng_.NextBelow(num_bands_));
       const rt::vaddr_t band = AllocDataArray(jvm, band_bytes_, t);
-      jvm.View(jvm.roots().Get(table_)).set_ref(i, band);
+      jvm.WriteRef(jvm.roots().Get(table_), i, band);
       StreamOverObject(jvm, t, band, 0.3, true);
     }
   }

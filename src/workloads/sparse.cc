@@ -39,15 +39,15 @@ class SparseWorkload final : public TableWorkload {
     for (unsigned i = 0; i < num_blocks_; ++i) {
       const rt::vaddr_t values =
           AllocDataArray(jvm, kValueBlockBytes, NextThread(jvm));
-      jvm.View(jvm.roots().Get(table_)).set_ref(i, values);
+      jvm.WriteRef(jvm.roots().Get(table_), i, values);
       const rt::vaddr_t indices =
           AllocDataArray(jvm, kIndexBlockBytes, NextThread(jvm));
-      jvm.View(jvm.roots().Get(table_)).set_ref(num_blocks_ + i, indices);
+      jvm.WriteRef(jvm.roots().Get(table_), num_blocks_ + i, indices);
     }
     const rt::vaddr_t x = AllocDataArray(jvm, kVectorBytes, 0);
-    jvm.View(jvm.roots().Get(table_)).set_ref(2 * num_blocks_, x);
+    jvm.WriteRef(jvm.roots().Get(table_), 2 * num_blocks_, x);
     const rt::vaddr_t y = AllocDataArray(jvm, kVectorBytes, 0);
-    jvm.View(jvm.roots().Get(table_)).set_ref(2 * num_blocks_ + 1, y);
+    jvm.WriteRef(jvm.roots().Get(table_), 2 * num_blocks_ + 1, y);
   }
 
   void Iterate(rt::Jvm& jvm) override {
@@ -76,10 +76,10 @@ class SparseWorkload final : public TableWorkload {
       // allocation can trigger a GC that relocates it (the slot in the
       // rooted table is adjusted, the local vaddr is not).
       const rt::vaddr_t values = AllocDataArray(jvm, kValueBlockBytes, t);
-      jvm.View(jvm.roots().Get(table_)).set_ref(i, values);
+      jvm.WriteRef(jvm.roots().Get(table_), i, values);
       StreamOverObject(jvm, t, values, 0.25, true);
       const rt::vaddr_t indices = AllocDataArray(jvm, kIndexBlockBytes, t);
-      jvm.View(jvm.roots().Get(table_)).set_ref(num_blocks_ + i, indices);
+      jvm.WriteRef(jvm.roots().Get(table_), num_blocks_ + i, indices);
     }
   }
 
